@@ -1,0 +1,53 @@
+"""Figure 8 — Normalized execution time.
+
+Regenerates the paper's main result: per-benchmark execution time for
+the four configurations (B = requester-wins, P = PowerTM, C = CLEAR
+over requester-wins, W = CLEAR over PowerTM), normalized to B, plus the
+overlay of time spent running aborted-in-discovery and the geomean row.
+
+Paper headlines: PowerTM improves 12.7% over B; CLEAR improves 27.4%
+(C) and 35.0% (W) on average; discovery overhead stays under ~3.5%.
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig8_execution_time
+from repro.analysis.report import render_table
+
+
+def test_fig08_execution_time(benchmark, matrix):
+    times, discovery = benchmark.pedantic(
+        fig8_execution_time, args=(matrix,), rounds=1, iterations=1
+    )
+    rows = []
+    for name, per_config in times.items():
+        disc = discovery.get(name, {})
+        rows.append(
+            [name]
+            + ["{:.2f}".format(per_config[letter]) for letter in CONFIG_LETTERS]
+            + ["{:.1%}".format(disc.get("C", 0.0)) if disc else "-"]
+        )
+    print()
+    print(
+        render_table(
+            ["Benchmark", "B", "P", "C", "W", "discovery(C)"],
+            rows,
+            title="Fig. 8: execution time normalized to requester-wins",
+        )
+    )
+    geomean = times["geomean"]
+    print(
+        "geomean: P {:.1%} | C {:.1%} | W {:.1%} faster than B".format(
+            1 - geomean["P"], 1 - geomean["C"], 1 - geomean["W"]
+        )
+    )
+    # Shape assertions (who wins): both CLEAR configurations beat the
+    # baseline on average, and CLEAR beats plain PowerTM.
+    assert geomean["B"] == 1.0
+    assert geomean["C"] < 1.0
+    assert geomean["W"] < 1.0
+    assert geomean["W"] < geomean["P"]
+    # Discovery overhead stays small on average (paper: usually <1%,
+    # peaking at 3.4% for intruder).
+    mean_discovery = sum(
+        discovery[name]["C"] for name in discovery
+    ) / max(1, len(discovery))
+    assert mean_discovery < 0.15

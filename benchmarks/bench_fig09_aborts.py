@@ -1,0 +1,33 @@
+"""Figure 9 — Aborts per committed transaction.
+
+Regenerates the per-benchmark aborts-per-commit bars for B/P/C/W plus
+the average row. Paper headlines: baseline 7.9 aborts per commit,
+PowerTM 6.6, CLEAR-over-requester-wins 1.6, CLEAR-over-PowerTM 2.3.
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig9_aborts_per_commit
+from repro.analysis.report import render_table
+
+
+def test_fig09_aborts_per_commit(benchmark, matrix):
+    rows_data = benchmark.pedantic(
+        fig9_aborts_per_commit, args=(matrix,), rounds=1, iterations=1
+    )
+    rows = [
+        [name] + ["{:.2f}".format(per_config[letter]) for letter in CONFIG_LETTERS]
+        for name, per_config in rows_data.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["Benchmark", "B", "P", "C", "W"],
+            rows,
+            title="Fig. 9: aborts per committed transaction",
+        )
+    )
+    average = rows_data["average"]
+    # Shape: CLEAR slashes the abort rate relative to its own baseline
+    # (the paper reports 7.9 -> 1.6 and 6.6 -> 2.3).
+    assert average["C"] < average["B"] * 0.6
+    assert average["W"] < average["P"]
+    assert all(value >= 0 for value in average.values())

@@ -1,0 +1,39 @@
+"""Figure 10 — Normalized energy consumption.
+
+Regenerates the per-benchmark energy bars for B/P/C/W, normalized to B,
+with the geomean row. Paper headlines: CLEAR reduces energy by 26.4%
+over requester-wins and 30.6% when combined with PowerTM; the savings
+come from shorter runtime (static) and fewer re-executed instructions
+(dynamic).
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig10_energy
+from repro.analysis.report import render_table
+
+
+def test_fig10_energy(benchmark, matrix):
+    rows_data = benchmark.pedantic(
+        fig10_energy, args=(matrix,), rounds=1, iterations=1
+    )
+    rows = [
+        [name] + ["{:.2f}".format(per_config[letter]) for letter in CONFIG_LETTERS]
+        for name, per_config in rows_data.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["Benchmark", "B", "P", "C", "W"],
+            rows,
+            title="Fig. 10: energy normalized to requester-wins",
+        )
+    )
+    geomean = rows_data["geomean"]
+    print(
+        "geomean: C saves {:.1%}, W saves {:.1%} vs B".format(
+            1 - geomean["C"], 1 - geomean["W"]
+        )
+    )
+    # Shape: CLEAR saves energy on average, in both stacks.
+    assert geomean["C"] < 1.0
+    assert geomean["W"] < 1.0
+    assert geomean["W"] < geomean["P"]

@@ -1,0 +1,58 @@
+"""Figure 11 — Abort breakdown per type.
+
+Regenerates the stacked abort-share bars: Memory Conflict / Explicit
+Fallback / Other Fallback / Others, per benchmark and configuration.
+The paper's qualitative claim: with CLEAR, the expensive fallback-class
+aborts shrink because far fewer ARs reach the fallback path.
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig11_abort_breakdown
+from repro.analysis.report import render_stacked_shares
+from repro.htm.abort import AbortCategory
+
+CATEGORIES = [
+    AbortCategory.MEMORY_CONFLICT,
+    AbortCategory.EXPLICIT_FALLBACK,
+    AbortCategory.OTHER_FALLBACK,
+    AbortCategory.OTHERS,
+]
+
+
+def test_fig11_abort_breakdown(benchmark, matrix):
+    rows_data = benchmark.pedantic(
+        fig11_abort_breakdown, args=(matrix,), rounds=1, iterations=1
+    )
+    print()
+    display = []
+    for name, per_config in rows_data.items():
+        for letter in CONFIG_LETTERS:
+            display.append(
+                (
+                    "{:12s} {}".format(name, letter),
+                    {cat.value: share for cat, share in per_config[letter].items()},
+                )
+            )
+    print(
+        render_stacked_shares(
+            display,
+            [category.value for category in CATEGORIES],
+            title="Fig. 11: abort breakdown per type "
+                  "(# = MemConflict, = = ExplicitFallback, + = OtherFallback, . = Others)",
+        )
+    )
+    # Every per-cell breakdown is a distribution (or empty when a
+    # configuration never aborts).
+    for per_config in rows_data.values():
+        for shares in per_config.values():
+            total = sum(shares.values())
+            assert total == 0.0 or abs(total - 1.0) < 1e-6
+    # Aggregate fallback-class abort share must shrink under CLEAR.
+    def fallback_share(letter):
+        shares = [
+            per_config[letter].get(AbortCategory.EXPLICIT_FALLBACK, 0.0)
+            + per_config[letter].get(AbortCategory.OTHER_FALLBACK, 0.0)
+            for per_config in rows_data.values()
+        ]
+        return sum(shares) / len(shares)
+
+    assert fallback_share("C") <= fallback_share("B") + 0.05

@@ -1,0 +1,49 @@
+"""Figure 12 — Commit breakdown per execution mode.
+
+Regenerates the stacked commit-share bars: speculative / S-CL / NS-CL /
+fallback, per benchmark and configuration. Paper landmarks: mwobject is
+the only application committing mostly in NS-CL; arrayswap commits
+roughly a third in NS-CL; baseline configurations never use CL modes.
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig12_commit_modes
+from repro.analysis.report import render_stacked_shares
+from repro.core.modes import ExecMode
+
+MODES = [ExecMode.SPECULATIVE, ExecMode.S_CL, ExecMode.NS_CL, ExecMode.FALLBACK]
+
+
+def test_fig12_commit_modes(benchmark, matrix):
+    rows_data = benchmark.pedantic(
+        fig12_commit_modes, args=(matrix,), rounds=1, iterations=1
+    )
+    print()
+    display = []
+    for name, per_config in rows_data.items():
+        for letter in CONFIG_LETTERS:
+            display.append(
+                (
+                    "{:12s} {}".format(name, letter),
+                    {mode.value: share for mode, share in per_config[letter].items()},
+                )
+            )
+    print(
+        render_stacked_shares(
+            display,
+            [mode.value for mode in MODES],
+            title="Fig. 12: commit breakdown per mode "
+                  "(# = speculative, = = S-CL, + = NS-CL, . = fallback)",
+        )
+    )
+    for name, per_config in rows_data.items():
+        # Non-CLEAR configurations can never commit in a CL mode.
+        for letter in ("B", "P"):
+            assert per_config[letter].get(ExecMode.S_CL, 0.0) == 0.0, name
+            assert per_config[letter].get(ExecMode.NS_CL, 0.0) == 0.0, name
+        for letter in CONFIG_LETTERS:
+            assert abs(sum(per_config[letter].values()) - 1.0) < 1e-6
+    # mwobject: the paper's NS-CL showcase.
+    mwobject_nscl = rows_data["mwobject"]["C"].get(ExecMode.NS_CL, 0.0)
+    assert mwobject_nscl > 0.2
+    # Immutable regions must never take the S-CL path in CLEAR configs.
+    assert rows_data["mwobject"]["C"].get(ExecMode.S_CL, 0.0) == 0.0

@@ -1,0 +1,82 @@
+"""Figure 13 — Commit breakdown per number of retries (0-retry excluded).
+
+Regenerates the paper's bounding result: among ARs that needed at least
+one retry, the share committing on exactly the first retry, after more
+retries, and in fallback. Paper averages:
+
+====== ============ ==========
+config first retry  fallback
+====== ============ ==========
+B        35.4%        37.2%
+P        46.4%        27.4%
+C        64.2%        15.5%
+W        64.4%        15.4%
+====== ============ ==========
+"""
+
+from repro.analysis.experiments import CONFIG_LETTERS, fig13_retry_bound
+from repro.analysis.report import render_table
+
+PAPER_AVERAGES = {
+    "B": (0.354, 0.372),
+    "P": (0.464, 0.274),
+    "C": (0.642, 0.155),
+    "W": (0.644, 0.154),
+}
+
+
+def test_fig13_retry_bound(benchmark, matrix):
+    rows_data = benchmark.pedantic(
+        fig13_retry_bound, args=(matrix,), rounds=1, iterations=1
+    )
+    rows = []
+    for name, per_config in rows_data.items():
+        for letter in CONFIG_LETTERS:
+            first, n_retry, fallback = per_config[letter]
+            rows.append(
+                [
+                    name if letter == "B" else "",
+                    letter,
+                    "{:.1%}".format(first),
+                    "{:.1%}".format(n_retry),
+                    "{:.1%}".format(fallback),
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["Benchmark", "cfg", "1-retry", "n-retry", "fallback"],
+            rows,
+            title="Fig. 13: commit breakdown per number of retries "
+                  "(commits at 0 retries excluded)",
+        )
+    )
+    average = rows_data["average"]
+    print(
+        "average 1-retry: "
+        + " ".join(
+            "{}={:.1%} (paper {:.1%})".format(
+                letter, average[letter][0], PAPER_AVERAGES[letter][0]
+            )
+            for letter in CONFIG_LETTERS
+        )
+    )
+    print(
+        "average fallback: "
+        + " ".join(
+            "{}={:.1%} (paper {:.1%})".format(
+                letter, average[letter][2], PAPER_AVERAGES[letter][1]
+            )
+            for letter in CONFIG_LETTERS
+        )
+    )
+    # The headline shape: CLEAR raises the first-retry share well above
+    # its baseline and cuts the fallback share.
+    assert average["C"][0] > average["B"][0]
+    assert average["W"][0] > average["P"][0]
+    assert average["C"][2] < average["B"][2]
+    assert average["W"][2] < average["P"][2]
+    # And the bound is effective: most retried CLEAR ARs finish on the
+    # first retry.
+    assert average["C"][0] > 0.5
+    assert average["W"][0] > 0.5

@@ -1,0 +1,56 @@
+"""The abstract's headline numbers, regenerated in one place.
+
+Paper (abstract + §7): first-retry success 35.4% -> 64.4%; fallback
+share 37.2% -> 15.4%; execution time -35.0% (W vs B) and -23.3% (W vs
+P); aborts/commit 7.9 -> 1.6; energy -26.4% (C) / -30.6% (W).
+"""
+
+from repro.analysis.experiments import headline_summary
+from repro.analysis.report import render_table
+
+PAPER = {
+    "time_reduction_W_vs_B": 0.350,
+    "time_reduction_C_vs_B": 0.274,
+    "time_reduction_W_vs_P": 0.233,
+    "energy_reduction_C_vs_B": 0.264,
+    "energy_reduction_W_vs_B": 0.306,
+    "aborts_per_commit_B": 7.9,
+    "aborts_per_commit_C": 1.6,
+    "aborts_per_commit_W": 2.3,
+    "first_retry_share_B": 0.354,
+    "first_retry_share_P": 0.464,
+    "first_retry_share_C": 0.642,
+    "first_retry_share_W": 0.644,
+    "fallback_share_B": 0.372,
+    "fallback_share_C": 0.155,
+    "fallback_share_W": 0.154,
+}
+
+
+def test_headline_summary(benchmark, matrix):
+    summary = benchmark.pedantic(
+        headline_summary, args=(matrix,), rounds=1, iterations=1
+    )
+    rows = []
+    for key in sorted(summary):
+        measured = summary[key]
+        reference = PAPER.get(key)
+        rows.append(
+            [
+                key,
+                "{:.3f}".format(measured),
+                "{:.3f}".format(reference) if reference is not None else "-",
+            ]
+        )
+    print()
+    print(render_table(["metric", "measured", "paper"], rows,
+                       title="Headline metrics (paper abstract / §7)"))
+    # Directional claims that define the paper's contribution.
+    assert summary["time_reduction_C_vs_B"] > 0
+    assert summary["time_reduction_W_vs_B"] > 0
+    assert summary["energy_reduction_C_vs_B"] > 0
+    assert summary["aborts_per_commit_C"] < summary["aborts_per_commit_B"]
+    assert summary["first_retry_share_C"] > summary["first_retry_share_B"]
+    assert summary["first_retry_share_W"] > summary["first_retry_share_P"]
+    assert summary["fallback_share_C"] < summary["fallback_share_B"]
+    assert summary["fallback_share_W"] < summary["fallback_share_B"]

@@ -1,0 +1,32 @@
+"""§5 storage claim — CLEAR's per-core hardware overhead.
+
+The paper sizes the added structures (indirection bits, ERT, ALT, CRT)
+and claims "The total storage overhead is less than 1KiB (988.5
+bytes)". This harness recomputes the sizing from the Table 2
+configuration and sweeps the table-size ablations.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.storage import storage_overhead
+from repro.sim.config import SimConfig
+
+
+def test_storage_overhead(benchmark):
+    overhead = benchmark.pedantic(
+        storage_overhead, args=(SimConfig(),), rounds=1, iterations=1
+    )
+    rows = [(name, "{:.1f} B".format(size)) for name, size in overhead.rows()]
+    print()
+    print(render_table(["structure", "size"], rows,
+                       title="CLEAR per-core storage overhead (paper §5)"))
+    sweep = []
+    for alt_entries in (8, 16, 32, 64):
+        config = SimConfig(alt_entries=alt_entries)
+        sweep.append(
+            (alt_entries, "{:.1f} B".format(storage_overhead(config).total_bytes))
+        )
+    print()
+    print(render_table(["ALT entries", "total"], sweep,
+                       title="Total overhead vs ALT size"))
+    assert overhead.total_bytes == 988.5  # the paper's exact number
+    assert overhead.total_bytes < 1024

@@ -1,0 +1,42 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every figure projects the same (benchmark x configuration) matrix, so
+the matrix is simulated once per pytest session and cached.
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``quick`` (default): 8 cores, 3 seeds, fixed retry threshold — every
+  figure regenerates in a couple of minutes on a laptop.
+- ``paper``: 32 cores, 10 seeds, trimmed mean removing 3 outliers, and
+  the per-application best-of-1..10 retry sweep, as in the paper's
+  methodology (§6). Expect hours.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_config_matrix
+
+
+def bench_settings():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale == "paper":
+        return ExperimentSettings.paper()
+    return ExperimentSettings(
+        num_cores=8,
+        ops_per_thread=10,
+        seeds=(1, 2, 3),
+        trim=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def matrix(settings):
+    """The full simulation matrix, built once per session."""
+    return run_config_matrix(settings)

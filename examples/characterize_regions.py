@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Reproduce a Table 1 row: dynamic AR characterization.
+
+Probes a benchmark's atomic regions the way CLEAR's discovery hardware
+sees them — taint-tracking indirection bits plus footprint-stability
+probes — and prints the per-region classification next to the class the
+paper's Table 1 assigns.
+
+Usage:  python examples/characterize_regions.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis.characterize import characterize_workload
+from repro.analysis.report import render_table
+from repro.workloads import ALL_NAMES, make_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "sorted-list"
+    if name not in ALL_NAMES:
+        raise SystemExit("unknown benchmark {!r}; pick from {}".format(
+            name, ", ".join(ALL_NAMES)))
+    workload = make_workload(name)
+    results = characterize_workload(
+        lambda: make_workload(name, ops_per_thread=10),
+        samples_per_region=10,
+        perturbations=20,
+    )
+    rows = []
+    for spec in workload.region_specs():
+        characterization = results[spec.name]
+        rows.append([
+            spec.name,
+            characterization.measured.value,
+            spec.mutability.value,
+            "{}/{}".format(
+                characterization.footprint_changed_samples,
+                characterization.samples,
+            ),
+            characterization.max_footprint,
+        ])
+    print(render_table(
+        ["region", "measured", "declared (Table 1)", "footprint changed",
+         "max lines"],
+        rows,
+        title="AR characterization for {!r}".format(name),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Mini Figure 8: compare B / P / C / W across a few benchmarks.
+
+Simulates a contended subset of the paper's benchmark suite under all
+four evaluated configurations and prints execution time normalized to
+the requester-wins baseline, exactly the series of the paper's Fig. 8.
+
+Usage:  python examples/compare_configs.py [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis.experiments import (
+    CONFIG_LETTERS,
+    ExperimentSettings,
+    fig8_execution_time,
+    run_config_matrix,
+)
+from repro.analysis.report import render_table
+from repro.workloads import ALL_NAMES
+
+DEFAULT_BENCHMARKS = ("mwobject", "arrayswap", "queue", "intruder", "kmeans-h")
+
+
+def main():
+    benchmarks = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    unknown = [name for name in benchmarks if name not in ALL_NAMES]
+    if unknown:
+        raise SystemExit("unknown benchmarks: {} (pick from {})".format(
+            unknown, ", ".join(ALL_NAMES)))
+    settings = ExperimentSettings(
+        benchmarks=benchmarks, num_cores=8, ops_per_thread=12, seeds=(1, 2, 3)
+    )
+    print("simulating {} benchmarks x 4 configurations x {} seeds ...".format(
+        len(benchmarks), len(settings.seeds)))
+    matrix = run_config_matrix(settings)
+    times, _ = fig8_execution_time(matrix)
+    rows = [
+        [name] + ["{:.2f}".format(times[name][letter]) for letter in CONFIG_LETTERS]
+        for name in list(benchmarks) + ["geomean"]
+    ]
+    print()
+    print(render_table(
+        ["Benchmark", "B", "P", "C", "W"],
+        rows,
+        title="Execution time normalized to requester-wins (lower is better)",
+    ))
+    geomean = times["geomean"]
+    print()
+    print("CLEAR improves the geomean by {:.1%} over requester-wins (C vs B)".format(
+        1 - geomean["C"]))
+    print("and by {:.1%} when stacked on PowerTM (W vs B).".format(
+        1 - geomean["W"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Run the full experiment matrix and dump every figure's data to JSON.
+
+Used to populate EXPERIMENTS.md. Scale is chosen via argv[1]:
+``quick`` (8 cores), ``medium`` (32 cores, 3 seeds — the default), or
+``paper`` (32 cores, 10 seeds, retry sweep; hours).
+"""
+
+import json
+import sys
+import time
+
+from repro.analysis.experiments import (
+    CONFIG_LETTERS,
+    ExperimentSettings,
+    fig1_retry_immutability,
+    fig8_execution_time,
+    fig9_aborts_per_commit,
+    fig10_energy,
+    fig11_abort_breakdown,
+    fig12_commit_modes,
+    fig13_retry_bound,
+    headline_summary,
+    run_config_matrix,
+)
+
+
+def settings_for(scale):
+    if scale == "paper":
+        return ExperimentSettings.paper()
+    if scale == "sweep":
+        # Paper methodology at reduced seed count: per-application
+        # best-of retry threshold, 32 cores.
+        return ExperimentSettings(
+            num_cores=32, ops_per_thread=16, seeds=(1, 2), trim=0,
+            retry_sweep=True, sweep_thresholds=(1, 2, 4, 8),
+        )
+    if scale == "medium":
+        return ExperimentSettings(
+            num_cores=32, ops_per_thread=16, seeds=(1, 2, 3), trim=0
+        )
+    return ExperimentSettings.quick()
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "medium"
+    out_path = sys.argv[2] if len(sys.argv) > 2 else ".exp_results.json"
+    settings = settings_for(scale)
+    started = time.time()
+
+    def progress(name, letter, aggregate):
+        print(
+            "{:>7.1f}s  {:12s} {}  cycles={:,.0f}  a/c={:.2f}".format(
+                time.time() - started, name, letter,
+                aggregate.cycles, aggregate.aborts_per_commit,
+            ),
+            flush=True,
+        )
+
+    matrix = run_config_matrix(settings, progress=progress)
+
+    times, discovery = fig8_execution_time(matrix)
+    payload = {
+        "scale": scale,
+        "num_cores": settings.num_cores,
+        "seeds": list(settings.seeds),
+        "fig1": fig1_retry_immutability(matrix),
+        "fig8_times": {k: v for k, v in times.items()},
+        "fig8_discovery": discovery,
+        "fig9": fig9_aborts_per_commit(matrix),
+        "fig10": fig10_energy(matrix),
+        "fig11": {
+            name: {
+                letter: {cat.value: share for cat, share in shares.items()}
+                for letter, shares in per_config.items()
+            }
+            for name, per_config in fig11_abort_breakdown(matrix).items()
+        },
+        "fig12": {
+            name: {
+                letter: {mode.value: share for mode, share in shares.items()}
+                for letter, shares in per_config.items()
+            }
+            for name, per_config in fig12_commit_modes(matrix).items()
+        },
+        "fig13": {
+            name: {letter: list(triple) for letter, triple in per_config.items()}
+            for name, per_config in fig13_retry_bound(matrix).items()
+        },
+        "headline": headline_summary(matrix),
+        "elapsed_seconds": time.time() - started,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    print("wrote {} after {:.0f}s".format(out_path, payload["elapsed_seconds"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""CLEAR: Bounding Speculative Execution of Atomic Regions to a Single Retry.
+
+A from-scratch Python reproduction of Gómez-Hernández et al., ASPLOS
+2024. The package provides:
+
+- a cacheline-granular multicore simulator with a TSX-like HTM,
+  PowerTM, and the CLEAR mechanism (ERT/ALT/CRT, discovery, NS-CL and
+  S-CL retry modes);
+- the paper's 19 benchmarks (9 concurrent data structures + the STAMP
+  suite as synthetic kernels);
+- analysis and benchmark harnesses regenerating every table and figure
+  of the evaluation.
+
+Quickstart::
+
+    from repro import SimConfig, make_workload, run_workload
+
+    config = SimConfig.for_letter("W", num_cores=8)   # CLEAR over PowerTM
+    result = run_workload(lambda: make_workload("mwobject"), config, seed=1)
+    print(result.stats.summary())
+"""
+
+from repro.core.modes import ExecMode
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.runner import (
+    AggregateResult,
+    RunResult,
+    run_seeds,
+    run_workload,
+    sweep_retry_threshold,
+    trimmed_mean,
+)
+from repro.energy.model import EnergyModel
+from repro.workloads import ALL_NAMES, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecMode",
+    "SimConfig",
+    "Machine",
+    "AggregateResult",
+    "RunResult",
+    "run_seeds",
+    "run_workload",
+    "sweep_retry_threshold",
+    "trimmed_mean",
+    "EnergyModel",
+    "ALL_NAMES",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""AR characterization: derives Table 1 and the Fig. 1 measurement.
+
+The paper classifies every static AR as *immutable* (no indirection, no
+branch on AR-loaded data), *likely immutable* (indirections whose values
+concurrent ARs do not modify), or *mutable* (the footprint genuinely
+changes across executions).
+
+This module re-derives the classes dynamically, mirroring the hardware:
+
+1. **Probe executions** run AR bodies against real simulated memory with
+   taint tracking (the indirection bits). No indirection in any sample
+   → immutable.
+2. For tainted regions, each sampled invocation is probed twice with a
+   burst of *other* invocations applied in between (simulating
+   concurrent ARs committing between an abort and its retry). If the
+   footprint never changes, the region is likely immutable; otherwise
+   mutable.
+
+Probes buffer their stores (like failed-mode discovery) unless asked to
+commit, so probing is side-effect-free where it needs to be.
+"""
+
+from repro.common.rng import DeterministicRng
+from repro.memory.shared import Allocator, SharedMemory
+from repro.sim.replay import ReplayResult, replay_body
+from repro.workloads.base import Mutability
+
+# The characterization probe is the simulator's replay machinery.
+ProbeResult = ReplayResult
+probe_body = replay_body
+
+
+class RegionCharacterization:
+    """Aggregated observations for one static AR."""
+
+    def __init__(self, region_name, declared):
+        self.region_name = region_name
+        self.declared = declared
+        self.samples = 0
+        self.tainted_samples = 0
+        self.footprint_changed_samples = 0
+        self.max_footprint = 0
+
+    def note(self, first, second):
+        """Record one probe pair (before/after perturbations)."""
+        self.samples += 1
+        if first.indirection_seen:
+            self.tainted_samples += 1
+        if first.footprint != second.footprint:
+            self.footprint_changed_samples += 1
+        self.max_footprint = max(
+            self.max_footprint, first.footprint_size, second.footprint_size
+        )
+
+    @property
+    def measured(self):
+        """Derived Mutability class (paper §3 definitions)."""
+        if self.tainted_samples == 0:
+            return Mutability.IMMUTABLE
+        if self.footprint_changed_samples == 0:
+            return Mutability.LIKELY_IMMUTABLE
+        return Mutability.MUTABLE
+
+    def __repr__(self):
+        return "RegionCharacterization({!r}, measured={})".format(
+            self.region_name, self.measured.value
+        )
+
+
+def characterize_workload(workload_factory, samples_per_region=24,
+                          perturbations=12, num_threads=8, seed=7):
+    """Probe a workload's regions; returns {region_name: characterization}.
+
+    For every sampled invocation, the body is probed, ``perturbations``
+    other random invocations are committed (the "concurrent ARs" that
+    run between an abort and its retry), and the body is probed again;
+    footprint equality across the pair feeds the likely-immutable /
+    mutable split.
+    """
+    workload = workload_factory()
+    memory = SharedMemory()
+    allocator = Allocator()
+    rng = DeterministicRng(seed)
+    # A characterization probe must never exhaust the action quota.
+    workload.ops_per_thread = max(
+        workload.ops_per_thread,
+        samples_per_region * (perturbations + 1) * len(workload.region_specs()),
+    )
+    workload.setup(memory, allocator, num_threads=num_threads, rng=rng.child("setup"))
+    results = {
+        spec.name: RegionCharacterization(spec.name, spec.mutability)
+        for spec in workload.region_specs()
+    }
+    pick_rng = rng.child("pick")
+    perturb_rng = rng.child("perturb")
+    pending = {name: samples_per_region for name in results}
+    budget = samples_per_region * len(results) * 50
+    thread_cycle = 0
+    while any(count > 0 for count in pending.values()) and budget > 0:
+        budget -= 1
+        thread_cycle = (thread_cycle + 1) % num_threads
+        invocation = workload.make_invocation(thread_cycle, pick_rng)
+        region_name = invocation.region_id[1]
+        if pending.get(region_name, 0) <= 0:
+            # Still commit it so the structures keep evolving.
+            probe_body(invocation.body_factory, memory, commit=True)
+            continue
+        first = probe_body(invocation.body_factory, memory, commit=False)
+        for _ in range(perturbations):
+            other_thread = perturb_rng.randint(0, num_threads - 1)
+            other = workload.make_invocation(other_thread, perturb_rng)
+            probe_body(other.body_factory, memory, commit=True)
+        second = probe_body(invocation.body_factory, memory, commit=True)
+        results[region_name].note(first, second)
+        pending[region_name] -= 1
+    return results
+
+
+def characterization_table(workload_factories, **kwargs):
+    """Table 1 rows: (benchmark, #ARs, immutable, likely, mutable) measured."""
+    rows = []
+    for factory in workload_factories:
+        workload = factory()
+        characterizations = characterize_workload(factory, **kwargs)
+        counts = {m: 0 for m in Mutability}
+        for characterization in characterizations.values():
+            counts[characterization.measured] += 1
+        rows.append(
+            {
+                "benchmark": workload.name,
+                "num_ars": len(characterizations),
+                "immutable": counts[Mutability.IMMUTABLE],
+                "likely_immutable": counts[Mutability.LIKELY_IMMUTABLE],
+                "mutable": counts[Mutability.MUTABLE],
+                "per_region": characterizations,
+            }
+        )
+    return rows

@@ -1,0 +1,251 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+The expensive part — simulating every (benchmark, configuration) pair
+over several seeds — is factored into :func:`run_config_matrix`; each
+``figN_*`` function is a cheap projection of that matrix into exactly
+the rows/series the corresponding paper figure reports.
+
+Configurations follow the paper's naming: **B** requester-wins,
+**P** PowerTM, **C** CLEAR over requester-wins, **W** CLEAR over
+PowerTM (Fig. 8-13 group bars as B P C W).
+"""
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortCategory
+from repro.analysis.report import geometric_mean
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_seeds, sweep_retry_threshold
+from repro.workloads import ALL_NAMES, make_workload
+
+CONFIG_LETTERS = ("B", "P", "C", "W")
+
+
+class ExperimentSettings:
+    """Scale knobs for the experiment suite.
+
+    ``paper()`` approximates the paper's methodology (32 cores, 10
+    seeds, trimmed mean removing 3, retry-threshold sweep);
+    ``quick()`` is the CI-sized variant used by the benchmark harness
+    defaults so every figure regenerates in minutes on a laptop.
+    """
+
+    def __init__(self, benchmarks=ALL_NAMES, num_cores=8, ops_per_thread=12,
+                 seeds=(1, 2, 3), trim=0, retry_threshold=5, retry_sweep=False,
+                 sweep_thresholds=(1, 2, 4, 6, 8, 10)):
+        self.benchmarks = tuple(benchmarks)
+        self.num_cores = num_cores
+        self.ops_per_thread = ops_per_thread
+        self.seeds = tuple(seeds)
+        self.trim = trim
+        self.retry_threshold = retry_threshold
+        self.retry_sweep = retry_sweep
+        self.sweep_thresholds = tuple(sweep_thresholds)
+
+    @classmethod
+    def quick(cls, benchmarks=ALL_NAMES):
+        """CI-sized settings: 8 cores, 3 seeds, fixed threshold."""
+        return cls(benchmarks=benchmarks)
+
+    @classmethod
+    def paper(cls, benchmarks=ALL_NAMES):
+        """The paper's methodology: 32 cores, 10 seeds, trimmed mean, sweep."""
+        return cls(
+            benchmarks=benchmarks,
+            num_cores=32,
+            ops_per_thread=30,
+            seeds=tuple(range(1, 11)),
+            trim=3,
+            retry_sweep=True,
+        )
+
+    def config_for(self, letter):
+        """SimConfig for one of the B/P/C/W configurations."""
+        return SimConfig.for_letter(
+            letter, num_cores=self.num_cores, retry_threshold=self.retry_threshold
+        )
+
+    def workload_factory(self, name):
+        """Factory building a fresh scaled workload instance."""
+        return lambda: make_workload(name, ops_per_thread=self.ops_per_thread)
+
+
+def run_config_matrix(settings=None, progress=None):
+    """Simulate every (benchmark, configuration) pair.
+
+    Returns {benchmark: {letter: AggregateResult}}. With
+    ``settings.retry_sweep`` the per-application best retry threshold is
+    selected exactly as in the paper ("best of 1 to 10 retries").
+    """
+    settings = settings or ExperimentSettings.quick()
+    matrix = {}
+    for name in settings.benchmarks:
+        matrix[name] = {}
+        for letter in CONFIG_LETTERS:
+            factory = settings.workload_factory(name)
+            config = settings.config_for(letter)
+            if settings.retry_sweep:
+                aggregate, _ = sweep_retry_threshold(
+                    factory, config, thresholds=settings.sweep_thresholds,
+                    seeds=settings.seeds, trim=settings.trim,
+                )
+            else:
+                aggregate = run_seeds(
+                    factory, config, seeds=settings.seeds, trim=settings.trim
+                )
+            matrix[name][letter] = aggregate
+            if progress is not None:
+                progress(name, letter, aggregate)
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Figure projections
+# ---------------------------------------------------------------------------
+
+def fig1_retry_immutability(matrix):
+    """Fig. 1: ratio of retrying ARs with a small, unchanged footprint.
+
+    Measured on the baseline (B) runs, as in the paper's motivation.
+    Returns {benchmark: ratio} plus an ``average`` entry.
+    """
+    ratios = {
+        name: per_config["B"].first_retry_immutable_ratio
+        for name, per_config in matrix.items()
+    }
+    observed = [ratio for ratio in ratios.values()]
+    ratios["average"] = sum(observed) / len(observed) if observed else 0.0
+    return ratios
+
+
+def fig8_execution_time(matrix):
+    """Fig. 8: execution time normalized to B, plus discovery overlay.
+
+    Returns {benchmark: {letter: normalized_time}} with a ``geomean``
+    pseudo-benchmark, and a parallel {benchmark: {letter:
+    discovery_fraction}} map for the "time running aborted in
+    discovery" overlay.
+    """
+    normalized = {}
+    discovery = {}
+    for name, per_config in matrix.items():
+        base = per_config["B"].cycles or 1.0
+        normalized[name] = {
+            letter: per_config[letter].cycles / base for letter in CONFIG_LETTERS
+        }
+        discovery[name] = {
+            letter: per_config[letter].discovery_time_fraction
+            for letter in CONFIG_LETTERS
+        }
+    normalized["geomean"] = {
+        letter: geometric_mean(
+            [normalized[name][letter] for name in matrix]
+        )
+        for letter in CONFIG_LETTERS
+    }
+    return normalized, discovery
+
+
+def fig9_aborts_per_commit(matrix):
+    """Fig. 9: aborts per committed transaction, plus an average row."""
+    rows = {
+        name: {
+            letter: per_config[letter].aborts_per_commit
+            for letter in CONFIG_LETTERS
+        }
+        for name, per_config in matrix.items()
+    }
+    rows["average"] = {
+        letter: sum(rows[name][letter] for name in matrix) / max(1, len(matrix))
+        for letter in CONFIG_LETTERS
+    }
+    return rows
+
+
+def fig10_energy(matrix):
+    """Fig. 10: energy normalized to B, plus a geomean row."""
+    rows = {}
+    for name, per_config in matrix.items():
+        base = per_config["B"].energy or 1.0
+        rows[name] = {
+            letter: per_config[letter].energy / base for letter in CONFIG_LETTERS
+        }
+    rows["geomean"] = {
+        letter: geometric_mean([rows[name][letter] for name in matrix])
+        for letter in CONFIG_LETTERS
+    }
+    return rows
+
+
+def fig11_abort_breakdown(matrix):
+    """Fig. 11: abort shares by category per benchmark and config."""
+    categories = [category for category in AbortCategory]
+    rows = {}
+    for name, per_config in matrix.items():
+        rows[name] = {
+            letter: {
+                category: per_config[letter].abort_category_shares().get(category, 0.0)
+                for category in categories
+            }
+            for letter in CONFIG_LETTERS
+        }
+    return rows
+
+
+def fig12_commit_modes(matrix):
+    """Fig. 12: commit shares by execution mode per benchmark and config."""
+    rows = {}
+    for name, per_config in matrix.items():
+        rows[name] = {
+            letter: per_config[letter].commit_mode_shares()
+            for letter in CONFIG_LETTERS
+        }
+    return rows
+
+
+def fig13_retry_bound(matrix):
+    """Fig. 13: (1-retry, n-retry, fallback) shares among retried commits.
+
+    Includes an ``average`` row — the basis for the paper's headline
+    "64.4% first-retry / 15.4% fallback" numbers.
+    """
+    rows = {}
+    for name, per_config in matrix.items():
+        rows[name] = {
+            letter: per_config[letter].retry_shares() for letter in CONFIG_LETTERS
+        }
+    rows["average"] = {
+        letter: tuple(
+            sum(rows[name][letter][index] for name in matrix) / max(1, len(matrix))
+            for index in range(3)
+        )
+        for letter in CONFIG_LETTERS
+    }
+    return rows
+
+
+def headline_summary(matrix):
+    """The abstract's headline numbers, measured on this matrix."""
+    times, _ = fig8_execution_time(matrix)
+    energy = fig10_energy(matrix)
+    aborts = fig9_aborts_per_commit(matrix)
+    retries = fig13_retry_bound(matrix)
+    return {
+        "time_reduction_C_vs_B": 1.0 - times["geomean"]["C"],
+        "time_reduction_W_vs_B": 1.0 - times["geomean"]["W"],
+        "time_reduction_W_vs_P": 1.0 - (
+            times["geomean"]["W"] / times["geomean"]["P"]
+            if times["geomean"]["P"] else 1.0
+        ),
+        "energy_reduction_C_vs_B": 1.0 - energy["geomean"]["C"],
+        "energy_reduction_W_vs_B": 1.0 - energy["geomean"]["W"],
+        "aborts_per_commit_B": aborts["average"]["B"],
+        "aborts_per_commit_C": aborts["average"]["C"],
+        "aborts_per_commit_W": aborts["average"]["W"],
+        "first_retry_share_B": retries["average"]["B"][0],
+        "first_retry_share_P": retries["average"]["P"][0],
+        "first_retry_share_C": retries["average"]["C"][0],
+        "first_retry_share_W": retries["average"]["W"][0],
+        "fallback_share_B": retries["average"]["B"][2],
+        "fallback_share_C": retries["average"]["C"][2],
+        "fallback_share_W": retries["average"]["W"][2],
+    }

@@ -1,0 +1,115 @@
+"""CSV export of figure data.
+
+Plotting lives outside this library (no plotting dependency is assumed
+offline), so every figure's series can be dumped to CSV for external
+tooling: one file per figure, benchmarks as rows, configurations (and
+sub-series) as columns.
+"""
+
+import csv
+
+from repro.analysis.experiments import (
+    CONFIG_LETTERS,
+    fig1_retry_immutability,
+    fig8_execution_time,
+    fig9_aborts_per_commit,
+    fig10_energy,
+    fig11_abort_breakdown,
+    fig12_commit_modes,
+    fig13_retry_bound,
+)
+
+
+def _write(path, headers, rows):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_fig1(matrix, path):
+    """benchmark,ratio rows for Fig. 1."""
+    ratios = fig1_retry_immutability(matrix)
+    _write(path, ["benchmark", "first_retry_immutable_ratio"],
+           [(name, ratios[name]) for name in ratios])
+
+
+def export_fig8(matrix, path):
+    """benchmark,B,P,C,W,discovery_C rows for Fig. 8."""
+    times, discovery = fig8_execution_time(matrix)
+    rows = []
+    for name, per_config in times.items():
+        disc = discovery.get(name, {}).get("C", "")
+        rows.append([name] + [per_config[letter] for letter in CONFIG_LETTERS] + [disc])
+    _write(path, ["benchmark", "B", "P", "C", "W", "discovery_fraction_C"], rows)
+
+
+def export_fig9(matrix, path):
+    """benchmark,B,P,C,W rows of aborts per commit."""
+    data = fig9_aborts_per_commit(matrix)
+    _write(path, ["benchmark", "B", "P", "C", "W"],
+           [[name] + [data[name][letter] for letter in CONFIG_LETTERS]
+            for name in data])
+
+
+def export_fig10(matrix, path):
+    """benchmark,B,P,C,W rows of normalized energy."""
+    data = fig10_energy(matrix)
+    _write(path, ["benchmark", "B", "P", "C", "W"],
+           [[name] + [data[name][letter] for letter in CONFIG_LETTERS]
+            for name in data])
+
+
+def export_fig11(matrix, path):
+    """Long-format abort-category shares."""
+    data = fig11_abort_breakdown(matrix)
+    rows = []
+    for name, per_config in data.items():
+        for letter in CONFIG_LETTERS:
+            for category, share in per_config[letter].items():
+                rows.append([name, letter, category.value, share])
+    _write(path, ["benchmark", "config", "category", "share"], rows)
+
+
+def export_fig12(matrix, path):
+    """Long-format commit-mode shares."""
+    data = fig12_commit_modes(matrix)
+    rows = []
+    for name, per_config in data.items():
+        for letter in CONFIG_LETTERS:
+            for mode, share in per_config[letter].items():
+                rows.append([name, letter, mode.value, share])
+    _write(path, ["benchmark", "config", "mode", "share"], rows)
+
+
+def export_fig13(matrix, path):
+    """benchmark,config,first,n_retry,fallback rows for Fig. 13."""
+    data = fig13_retry_bound(matrix)
+    rows = []
+    for name, per_config in data.items():
+        for letter in CONFIG_LETTERS:
+            first, n_retry, fallback = per_config[letter]
+            rows.append([name, letter, first, n_retry, fallback])
+    _write(path, ["benchmark", "config", "first_retry", "n_retry", "fallback"],
+           rows)
+
+
+def export_all(matrix, directory):
+    """Write every figure's CSV into ``directory``; returns the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = {}
+    for name, exporter in [
+        ("fig01", export_fig1),
+        ("fig08", export_fig8),
+        ("fig09", export_fig9),
+        ("fig10", export_fig10),
+        ("fig11", export_fig11),
+        ("fig12", export_fig12),
+        ("fig13", export_fig13),
+    ]:
+        path = os.path.join(directory, "{}.csv".format(name))
+        exporter(matrix, path)
+        paths[name] = path
+    return paths

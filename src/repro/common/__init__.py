@@ -1,0 +1,26 @@
+"""Shared utilities: constants, deterministic RNG, and error types."""
+
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    WORDS_PER_LINE,
+    WORD_BYTES,
+)
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    ProtocolError,
+)
+from repro.common.rng import DeterministicRng, split_seed
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "WORDS_PER_LINE",
+    "WORD_BYTES",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolError",
+    "DeterministicRng",
+    "split_seed",
+]

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine or workload configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state (a bug, not user error)."""
+
+
+class ProtocolError(SimulationError):
+    """A coherence or locking protocol invariant was violated."""

@@ -1,0 +1,149 @@
+"""Addresses-to-Lock Table (ALT) — Fig. 7 ③ of the paper.
+
+The cache controller's table of cacheline addresses learned during
+discovery, kept sorted by lexicographical order (directory set index of
+the line). 32 entries, CAM with priority search (276 bytes in the
+paper's sizing).
+
+Per entry: the address, *Needs Locking* (written lines, plus reads found
+in the CRT), *Locked* (already acquired), and the group-locking support
+bits *Hit* and *Conflict*. Addresses mapping to the same directory set
+form a lexicographical group; every member but the last carries the
+Conflict bit, delimiting the group (paper §5). At lock time a group
+first probes the private cache: if all members hit exclusively they are
+locked silently, otherwise the whole directory set is locked.
+"""
+
+from repro.common.errors import ProtocolError
+
+
+class AltOverflow(Exception):
+    """The discovered footprint exceeds the ALT capacity."""
+
+    def __init__(self, line):
+        super().__init__("ALT full; cannot track line {}".format(line))
+        self.line = line
+
+
+class AltEntry:
+    """One tracked cacheline."""
+
+    __slots__ = ("line", "dir_set", "needs_locking", "locked", "hit", "conflict")
+
+    def __init__(self, line, dir_set, needs_locking=False):
+        self.line = line
+        self.dir_set = dir_set
+        self.needs_locking = needs_locking
+        self.locked = False
+        self.hit = False
+        self.conflict = False
+
+    def __repr__(self):
+        return "AltEntry(line={}, set={}, needs_locking={}, locked={})".format(
+            self.line, self.dir_set, self.needs_locking, self.locked
+        )
+
+
+class AddressToLockTable:
+    """Sorted-by-lexicographical-order table of discovered cachelines."""
+
+    def __init__(self, num_entries=32):
+        self.num_entries = num_entries
+        self._entries = []  # kept sorted by (dir_set, line)
+        self._by_line = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, line):
+        return line in self._by_line
+
+    def entry(self, line):
+        """The tracked entry for a line, or None."""
+        return self._by_line.get(line)
+
+    def record_access(self, line, dir_set, written):
+        """Track an access discovered inside the AR.
+
+        Written lines set *Needs Locking*; re-recording a line as
+        written upgrades it. Raises :class:`AltOverflow` when a new line
+        does not fit — the region is then not convertible.
+        """
+        existing = self._by_line.get(line)
+        if existing is not None:
+            if written:
+                existing.needs_locking = True
+            return existing
+        if len(self._entries) >= self.num_entries:
+            raise AltOverflow(line)
+        entry = AltEntry(line, dir_set, needs_locking=written)
+        self._insert_sorted(entry)
+        self._by_line[line] = entry
+        return entry
+
+    def _insert_sorted(self, entry):
+        key = (entry.dir_set, entry.line)
+        low, high = 0, len(self._entries)
+        while low < high:
+            mid = (low + high) // 2
+            mid_key = (self._entries[mid].dir_set, self._entries[mid].line)
+            if mid_key < key:
+                low = mid + 1
+            else:
+                high = mid
+        self._entries.insert(low, entry)
+
+    def mark_needs_locking(self, line):
+        """Force a tracked line to be locked (CRT hit before S-CL)."""
+        entry = self._by_line.get(line)
+        if entry is None:
+            raise KeyError("line {} not tracked by ALT".format(line))
+        entry.needs_locking = True
+
+    def finalize_groups(self):
+        """Set the Conflict bits delimiting lexicographical groups.
+
+        All entries of a group except the *last* carry the bit (paper
+        §5), so a scan knows the group continues while the bit is set.
+        """
+        for index, entry in enumerate(self._entries):
+            next_entry = self._entries[index + 1] if index + 1 < len(self._entries) else None
+            entry.conflict = (
+                next_entry is not None and next_entry.dir_set == entry.dir_set
+            )
+
+    def entries(self):
+        """All entries in lexicographical order."""
+        return list(self._entries)
+
+    def all_lines(self):
+        """Every tracked line, in lexicographical order."""
+        return [entry.line for entry in self._entries]
+
+    def locking_plan(self, lock_all):
+        """Ordered groups of entries to lock.
+
+        ``lock_all`` selects NS-CL behaviour (every entry) versus S-CL
+        (only *Needs Locking* entries). Returns a list of groups; each
+        group is a list of entries sharing a directory set, in order.
+        """
+        self.finalize_groups()
+        plan = []
+        current = []
+        for entry in self._entries:
+            if not lock_all and not entry.needs_locking:
+                continue
+            if current and current[-1].dir_set != entry.dir_set:
+                plan.append(current)
+                current = []
+            current.append(entry)
+        if current:
+            plan.append(current)
+        return plan
+
+    def verify_sorted(self):
+        """Invariant check used by tests and property-based suites."""
+        keys = [(entry.dir_set, entry.line) for entry in self._entries]
+        if keys != sorted(keys):
+            raise ProtocolError("ALT lost lexicographical order")
+        return True

@@ -1,0 +1,57 @@
+"""Conflicting Reads Table (CRT) — Fig. 7 ④ of the paper.
+
+Tracks cacheline addresses that (i) the AR reads but does not write and
+(ii) received an invalidation causing a conflict/abort in a previous
+execution. Before an S-CL retry, lines present in the CRT are promoted
+to *Needs Locking* in the ALT so the same conflict cannot recur.
+
+64 entries, 8-way set associative, LRU within each set (544 bytes in
+the paper's sizing).
+"""
+
+from collections import OrderedDict
+
+
+class ConflictingReadsTable:
+    """Set-associative, per-core table of previously conflicting reads."""
+
+    def __init__(self, num_entries=64, assoc=8):
+        if num_entries % assoc != 0:
+            raise ValueError("entries must divide evenly into ways")
+        self.num_sets = num_entries // assoc
+        self.assoc = assoc
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.insertions = 0
+        self.evictions = 0
+
+    def _set_for(self, line):
+        return self._sets[line % self.num_sets]
+
+    def insert(self, line):
+        """Record a conflicting read; evicts LRU within the set."""
+        entries = self._set_for(line)
+        if line in entries:
+            entries.move_to_end(line)
+            return
+        if len(entries) >= self.assoc:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[line] = True
+        self.insertions += 1
+
+    def __contains__(self, line):
+        entries = self._set_for(line)
+        if line in entries:
+            entries.move_to_end(line)
+            return True
+        return False
+
+    def __len__(self):
+        return sum(len(entries) for entries in self._sets)
+
+    def lines(self):
+        """All tracked lines (for tests)."""
+        tracked = []
+        for entries in self._sets:
+            tracked.extend(entries.keys())
+        return tracked

@@ -1,0 +1,49 @@
+"""The retry decision tree (Fig. 2 of the paper).
+
+Walked in the reverse order of the hierarchical discovery assessment:
+
+3. **NS-CL** — immutable footprint that can be held locked: re-execute
+   non-speculatively under cacheline locking; success guaranteed.
+2. **S-CL** — lockable but possibly mutable: lock the critical part of
+   the footprint, keep a speculative checkpoint and conflict detection.
+1. **Speculative retry** — footprint not lockable (or a previous S-CL
+   attempt aborted): plain HTM/SLE retry.
+0. **Fallback** — retry budget exhausted: coarse-grain lock. (The
+   fallback step is enforced by the retry policy in the executor, not
+   here.)
+"""
+
+from repro.core.modes import ExecMode
+
+
+class RetryDecision:
+    """Outcome of the decision tree for one failed attempt."""
+
+    __slots__ = ("mode", "reason")
+
+    def __init__(self, mode, reason):
+        self.mode = mode
+        self.reason = reason
+
+    def __repr__(self):
+        return "RetryDecision({}, {!r})".format(self.mode, self.reason)
+
+
+def decide_retry_mode(assessment, has_writes=True):
+    """Map a discovery assessment to the retry execution mode (Fig. 2).
+
+    ``has_writes`` guards the S-CL branch: a read-only AR has nothing
+    for cacheline locking to protect — exclusive-locking its conflicted
+    *reads* would only serialize every other reader of those lines — so
+    it takes the plain speculative retry. (NS-CL is unaffected: an
+    immutable read-only AR still gains a guaranteed completion.)
+    """
+    if not assessment.fits_window:
+        return RetryDecision(ExecMode.SPECULATIVE, "core structures overflow")
+    if not assessment.lockable:
+        return RetryDecision(ExecMode.SPECULATIVE, "address set not lockable")
+    if assessment.immutable:
+        return RetryDecision(ExecMode.NS_CL, "immutable lockable footprint")
+    if not has_writes:
+        return RetryDecision(ExecMode.SPECULATIVE, "read-only region")
+    return RetryDecision(ExecMode.S_CL, "lockable footprint with indirections")

@@ -1,0 +1,98 @@
+"""Explored Region Table (ERT) — Fig. 7 ② of the paper.
+
+One entry per static atomic region, identified by the address of its
+first instruction (here: a stable region id supplied by the workload).
+16 entries, fully associative, LRU replacement (146 bytes of state in
+the paper's sizing).
+
+Fields per entry:
+
+- *Is Convertible*: cacheline locking may be employed on a retry.
+- *Is Immutable*: a retry can start directly in NS-CL mode (S-CL if
+  convertible but not immutable).
+- *SQ-Full Counter*: 2-bit saturating counter of failed discoveries that
+  ran out of SQ resources; saturation disables discovery for the region,
+  a commit decrements it.
+
+New entries initialize Is Convertible = 1, Is Immutable = 1,
+SQ-Full Counter = 0 (paper §5).
+"""
+
+from collections import OrderedDict
+
+SQ_FULL_COUNTER_MAX = 3  # 2-bit saturating counter
+
+
+class ErtEntry:
+    """One explored region."""
+
+    __slots__ = ("region_id", "is_convertible", "is_immutable", "sq_full_counter")
+
+    def __init__(self, region_id):
+        self.region_id = region_id
+        self.is_convertible = True
+        self.is_immutable = True
+        self.sq_full_counter = 0
+
+    @property
+    def discovery_allowed(self):
+        """Whether a new invocation should run the discovery phase.
+
+        Discovery is skipped for regions marked non-convertible (§5.1)
+        and for regions whose SQ-Full counter saturated (§5).
+        """
+        return self.is_convertible and self.sq_full_counter < SQ_FULL_COUNTER_MAX
+
+    def note_sq_overflow(self):
+        """Saturating increment on a discovery that exhausted the SQ."""
+        if self.sq_full_counter < SQ_FULL_COUNTER_MAX:
+            self.sq_full_counter += 1
+
+    def note_commit(self):
+        """Saturating decrement when the region commits."""
+        if self.sq_full_counter > 0:
+            self.sq_full_counter -= 1
+
+    def __repr__(self):
+        return (
+            "ErtEntry({!r}, convertible={}, immutable={}, sq_full={})".format(
+                self.region_id,
+                self.is_convertible,
+                self.is_immutable,
+                self.sq_full_counter,
+            )
+        )
+
+
+class ExploredRegionTable:
+    """Fully associative, LRU-replaced table of explored regions."""
+
+    def __init__(self, num_entries=16):
+        self.num_entries = num_entries
+        self._entries = OrderedDict()
+        self.evictions = 0
+
+    def lookup(self, region_id):
+        """Entry for a region, refreshing LRU; None if absent."""
+        entry = self._entries.get(region_id)
+        if entry is not None:
+            self._entries.move_to_end(region_id)
+        return entry
+
+    def ensure(self, region_id):
+        """Entry for a region, allocating (with LRU eviction) if absent."""
+        entry = self.lookup(region_id)
+        if entry is not None:
+            return entry
+        if len(self._entries) >= self.num_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        entry = ErtEntry(region_id)
+        self._entries[region_id] = entry
+        return entry
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, region_id):
+        return region_id in self._entries

@@ -1,0 +1,130 @@
+"""Register-file indirection bits, realized as taint propagation.
+
+The paper extends every physical register with an *indirection bit*
+(Fig. 7 ①): the bit is set when the register is the destination of a
+load issued inside the AR, and it propagates through every instruction
+whose sources carry it. When a memory operation's address or a branch
+condition retires with the bit set, the AR is not immutable.
+
+In this reproduction, workload AR bodies are ordinary Python code whose
+loads return :class:`TaintedValue`. Arithmetic and comparisons on
+tainted values propagate the taint exactly as the hardware bit would
+propagate through the register dataflow, so address expressions derived
+from AR loads are detected as indirections with zero effort from the
+workload author.
+"""
+
+
+class TaintedValue:
+    """An integer carrying an indirection bit.
+
+    Supports the arithmetic/comparison surface workload bodies need.
+    Binary operations taint their result iff either operand is tainted.
+    Comparisons return plain bools, so workloads must route tainted
+    branch conditions through ``Branch`` operations (the executor checks
+    the condition *value* it is given); helper :func:`taint_of` extracts
+    the taint of any value for that purpose.
+    """
+
+    __slots__ = ("value", "tainted")
+
+    def __init__(self, value, tainted=True):
+        self.value = int(value)
+        self.tainted = bool(tainted)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _combine(self, other, op):
+        other_value = value_of(other)
+        return TaintedValue(op(self.value, other_value), self.tainted or taint_of(other))
+
+    def __add__(self, other):
+        return self._combine(other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return self._combine(other, lambda a, b: b + a)
+
+    def __sub__(self, other):
+        return self._combine(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return self._combine(other, lambda a, b: b - a)
+
+    def __mul__(self, other):
+        return self._combine(other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return self._combine(other, lambda a, b: b * a)
+
+    def __floordiv__(self, other):
+        return self._combine(other, lambda a, b: a // b)
+
+    def __mod__(self, other):
+        return self._combine(other, lambda a, b: a % b)
+
+    def __and__(self, other):
+        return self._combine(other, lambda a, b: a & b)
+
+    def __or__(self, other):
+        return self._combine(other, lambda a, b: a | b)
+
+    def __xor__(self, other):
+        return self._combine(other, lambda a, b: a ^ b)
+
+    def __rshift__(self, other):
+        return self._combine(other, lambda a, b: a >> b)
+
+    def __lshift__(self, other):
+        return self._combine(other, lambda a, b: a << b)
+
+    def __neg__(self):
+        return TaintedValue(-self.value, self.tainted)
+
+    # -- comparisons (plain bools; branch taint is handled via Branch ops) ---
+
+    def __eq__(self, other):
+        return self.value == value_of(other)
+
+    def __ne__(self, other):
+        return self.value != value_of(other)
+
+    def __lt__(self, other):
+        return self.value < value_of(other)
+
+    def __le__(self, other):
+        return self.value <= value_of(other)
+
+    def __gt__(self, other):
+        return self.value > value_of(other)
+
+    def __ge__(self, other):
+        return self.value >= value_of(other)
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __int__(self):
+        return self.value
+
+    def __index__(self):
+        return self.value
+
+    def __bool__(self):
+        return bool(self.value)
+
+    def __repr__(self):
+        return "TaintedValue({}, tainted={})".format(self.value, self.tainted)
+
+
+def value_of(operand):
+    """Plain integer value of an operand that may be tainted."""
+    if isinstance(operand, TaintedValue):
+        return operand.value
+    return int(operand)
+
+
+def taint_of(operand):
+    """Indirection bit of an operand (False for plain ints/bools)."""
+    if isinstance(operand, TaintedValue):
+        return operand.tainted
+    return False

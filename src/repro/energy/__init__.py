@@ -1,0 +1,5 @@
+"""Energy model (McPAT substitute)."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]

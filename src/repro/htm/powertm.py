@@ -1,0 +1,40 @@
+"""PowerTM's single power-mode token.
+
+PowerTM (Dice, Herlihy, Kogan; TACO 2018) raises the priority of a
+transaction that has already aborted once: a *power* transaction wins
+every conflict instead of the requester. Only one transaction may hold
+power mode at a time; the token is released at commit (or when the
+holder leaves transactional execution, e.g. by going to fallback).
+"""
+
+
+class PowerToken:
+    """Machine-wide power-mode arbitration."""
+
+    def __init__(self):
+        self._holder = None
+        self.grants = 0
+
+    @property
+    def holder(self):
+        """Core currently running in power mode, or None."""
+        return self._holder
+
+    def try_acquire(self, core):
+        """Grant power mode if the token is free (idempotent for holder)."""
+        if self._holder is None:
+            self._holder = core
+            self.grants += 1
+            return True
+        return self._holder == core
+
+    def release(self, core):
+        """Give the token back; True if this core actually held it."""
+        if self._holder == core:
+            self._holder = None
+            return True
+        return False
+
+    def is_power(self, core):
+        """True if ``core`` currently runs in power mode."""
+        return self._holder == core

@@ -1,0 +1,119 @@
+"""Transactional read/write sets and the speculative store buffer.
+
+TSX-like HTMs track speculative accesses in the private caches: the
+write set must fit in L1 (a written line may not be evicted without an
+abort) and the read set in the larger private L2. We model both limits
+by a per-set associativity check, which is how capacity aborts actually
+arise in set-associative hardware (a hot set overflows long before the
+total capacity does).
+
+Speculative stores are buffered word-granular in the transaction; they
+become architecturally visible only at commit. Loads snoop the buffer
+first (store-to-load forwarding within the AR).
+"""
+
+from repro.memory.address import line_of_word
+
+
+class CapacityExceeded(Exception):
+    """The read or write set no longer fits the tracking structure."""
+
+    def __init__(self, which, line):
+        super().__init__("{} set overflow on line {}".format(which, line))
+        self.which = which
+        self.line = line
+
+
+class ReadWriteSets:
+    """Per-transaction speculative access tracking.
+
+    Parameters mirror the private caches used for tracking: the write
+    set is checked against the L1 geometry and the read set against the
+    L2 geometry. ``None`` disables a check (used by unit tests).
+    """
+
+    def __init__(self, l1_sets=64, l1_assoc=12, l2_sets=1024, l2_assoc=8):
+        self._l1_sets = l1_sets
+        self._l1_assoc = l1_assoc
+        self._l2_sets = l2_sets
+        self._l2_assoc = l2_assoc
+        self.read_set = set()
+        self.write_set = set()
+        self._write_buffer = {}
+
+    def record_read(self, line):
+        """Track a speculatively read line; raises on overflow."""
+        if line in self.read_set:
+            return
+        self.read_set.add(line)
+        if self._l2_sets is not None and not self._fits(
+            self.read_set | self.write_set, self._l2_sets, self._l2_assoc
+        ):
+            raise CapacityExceeded("read", line)
+
+    def record_write(self, line):
+        """Track a speculatively written line; raises on overflow."""
+        if line in self.write_set:
+            return
+        self.write_set.add(line)
+        if self._l1_sets is not None and not self._fits(
+            self.write_set, self._l1_sets, self._l1_assoc
+        ):
+            raise CapacityExceeded("write", line)
+
+    @staticmethod
+    def _fits(lines, num_sets, assoc):
+        per_set = {}
+        for line in lines:
+            idx = line % num_sets
+            per_set[idx] = per_set.get(idx, 0) + 1
+            if per_set[idx] > assoc:
+                return False
+        return True
+
+    # -- speculative store buffer ------------------------------------------
+
+    def buffer_store(self, word_addr, value):
+        """Hold a speculative store until commit."""
+        self._write_buffer[word_addr] = value
+
+    def forwarded_load(self, word_addr):
+        """Value forwarded from the store buffer, or None if absent."""
+        return self._write_buffer.get(word_addr)
+
+    def drain_to(self, memory):
+        """Commit: apply buffered stores to architectural memory in order."""
+        for word_addr, value in self._write_buffer.items():
+            memory.store(word_addr, value)
+        self._write_buffer.clear()
+
+    def discard(self):
+        """Abort: throw away all speculative state."""
+        self.read_set.clear()
+        self.write_set.clear()
+        self._write_buffer.clear()
+
+    def conflicts_with_write(self, line):
+        """Would a remote write to ``line`` conflict with this tx?"""
+        return line in self.read_set or line in self.write_set
+
+    def conflicts_with_read(self, line):
+        """Would a remote read of ``line`` conflict with this tx?"""
+        return line in self.write_set
+
+    @property
+    def store_buffer_entries(self):
+        """Number of buffered speculative stores."""
+        return len(self._write_buffer)
+
+    def touched_lines(self):
+        """All lines in either set."""
+        return self.read_set | self.write_set
+
+    def written_words(self):
+        """Buffered (word, value) pairs, for commit-order tests."""
+        return list(self._write_buffer.items())
+
+    def written_lines_of_buffer(self):
+        """Distinct lines with buffered stores."""
+        return {line_of_word(addr) for addr in self._write_buffer}

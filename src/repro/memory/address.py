@@ -1,0 +1,37 @@
+"""Address arithmetic.
+
+The simulator is word addressed (8-byte words). A cacheline holds 8
+words. The directory — the smallest shared structure in the hierarchy —
+defines the *lexicographical order* used for deadlock-free cacheline
+locking (paper §5): addresses are ordered by their directory set index,
+and addresses that map to the same set form a lexicographical *group*.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+
+
+def line_of_word(word_addr):
+    """Cacheline id containing the given word address."""
+    return word_addr // WORDS_PER_LINE
+
+
+def word_of_line(line):
+    """First word address of the given cacheline."""
+    return line * WORDS_PER_LINE
+
+
+def directory_set_of_line(line, num_sets):
+    """Directory set index of a cacheline (the lexicographical order key)."""
+    if num_sets <= 0:
+        raise ValueError("directory must have at least one set")
+    return line % num_sets
+
+
+def lexicographical_key(line, num_sets):
+    """Total order used for deadlock-free lock acquisition.
+
+    Primary key is the directory set index (the paper's lexicographical
+    order); the line id breaks ties deterministically *within* a group
+    so that group members are themselves acquired in a stable order.
+    """
+    return (directory_set_of_line(line, num_sets), line)

@@ -1,0 +1,144 @@
+"""Directory-based ownership tracking (MESI-like, message-free).
+
+The directory records, per cacheline, the set of sharer cores and the
+exclusive owner (if any). It is the ground truth used to classify access
+latencies (local hit / cache-to-cache transfer / memory) and to find
+coherence victims for eager conflict detection.
+
+The directory's set index also defines the lexicographical order for
+deadlock-free cacheline locking (paper §5): the paper picks "the set
+index of the smallest shared structure, in our case the directory
+cache". Addresses sharing a set form a lexicographical *group* and are
+locked with the group protocol (probe private cache; if all hit
+exclusive, lock silently; otherwise lock the directory set).
+"""
+
+from repro.memory.address import directory_set_of_line
+
+
+class DirectoryEntry:
+    """Coherence metadata for one cacheline."""
+
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self):
+        self.sharers = set()
+        self.owner = None
+
+    def is_idle(self):
+        """No sharers and no owner."""
+        return not self.sharers and self.owner is None
+
+    def __repr__(self):
+        return "DirectoryEntry(sharers={}, owner={})".format(
+            sorted(self.sharers), self.owner
+        )
+
+
+class Directory:
+    """Tracks per-line sharers/owner and per-set lock state.
+
+    ``num_sets`` controls the lexicographical group granularity. The
+    modeled directory has 800% coverage (Table 2), so entries are never
+    evicted; we keep them in a sparse dict.
+    """
+
+    def __init__(self, num_sets=4096):
+        self.num_sets = num_sets
+        self._entries = {}
+        # Directory-set locks used by the group locking protocol: set
+        # index -> core id holding the whole set locked.
+        self._set_locks = {}
+
+    def entry(self, line):
+        """The (auto-created) entry for a cacheline."""
+        found = self._entries.get(line)
+        if found is None:
+            found = DirectoryEntry()
+            self._entries[line] = found
+        return found
+
+    def set_of(self, line):
+        """Directory set index for a line (the lexicographical key)."""
+        return directory_set_of_line(line, self.num_sets)
+
+    # -- coherence transitions -------------------------------------------
+
+    def record_read(self, core, line):
+        """Core obtains a shared copy.
+
+        Returns the previous exclusive owner if the data had to be
+        sourced from a remote modified copy, else None. The previous
+        owner is downgraded to sharer.
+        """
+        found = self.entry(line)
+        previous_owner = found.owner if found.owner not in (None, core) else None
+        if found.owner is not None and found.owner != core:
+            found.sharers.add(found.owner)
+            found.owner = None
+        found.sharers.add(core)
+        return previous_owner
+
+    def record_write(self, core, line):
+        """Core obtains an exclusive copy.
+
+        Returns (previous_owner, invalidated_sharers): the remote owner
+        whose modified copy sourced the data (or None), and the set of
+        remote cores whose shared copies were invalidated.
+        """
+        found = self.entry(line)
+        previous_owner = found.owner if found.owner not in (None, core) else None
+        invalidated = {c for c in found.sharers if c != core}
+        if previous_owner is not None:
+            invalidated.add(previous_owner)
+        found.sharers.clear()
+        found.owner = core
+        return previous_owner, invalidated
+
+    def drop(self, core, line):
+        """Core evicted its copy of the line."""
+        found = self._entries.get(line)
+        if found is None:
+            return
+        found.sharers.discard(core)
+        if found.owner == core:
+            found.owner = None
+        if found.is_idle():
+            del self._entries[line]
+
+    def is_owner(self, core, line):
+        """True if ``core`` holds the line exclusively."""
+        found = self._entries.get(line)
+        return found is not None and found.owner == core
+
+    def holders(self, line):
+        """All cores with a copy (sharers plus owner)."""
+        found = self._entries.get(line)
+        if found is None:
+            return set()
+        held = set(found.sharers)
+        if found.owner is not None:
+            held.add(found.owner)
+        return held
+
+    # -- directory-set (group) locks --------------------------------------
+
+    def lock_set(self, core, set_index):
+        """Lock a whole directory set for the group protocol.
+
+        Returns True on success, False if another core holds it.
+        """
+        holder = self._set_locks.get(set_index)
+        if holder is not None and holder != core:
+            return False
+        self._set_locks[set_index] = core
+        return True
+
+    def unlock_set(self, core, set_index):
+        """Release a directory-set lock held by ``core``."""
+        if self._set_locks.get(set_index) == core:
+            del self._set_locks[set_index]
+
+    def set_lock_holder(self, set_index):
+        """Core currently holding the directory-set lock, or None."""
+        return self._set_locks.get(set_index)

@@ -1,0 +1,39 @@
+"""Simulation engine: cores, programs, timing, statistics, wiring.
+
+- :mod:`repro.sim.config` — the Table 2 machine configuration plus
+  policy knobs selecting the evaluated configurations (B/P/C/W).
+- :mod:`repro.sim.program` — the operation vocabulary atomic-region
+  bodies are written in (Load/Store/Compute/Branch/AbortOp).
+- :mod:`repro.sim.stats` — the measurement surface backing every
+  figure of the evaluation.
+- :mod:`repro.sim.executor` — the per-core AR execution state machine.
+- :mod:`repro.sim.machine` — the assembled multicore machine and its
+  event loop.
+- :mod:`repro.sim.runner` — multi-seed runs with the paper's trimmed
+  mean, and the retry-threshold design-space sweep.
+"""
+
+from repro.sim.config import SimConfig, HtmPolicy
+from repro.sim.program import Load, Store, Compute, Branch, AbortOp, Invoke, Think
+from repro.sim.stats import MachineStats, CoreStats
+from repro.sim.machine import Machine
+from repro.sim.runner import run_workload, run_seeds, RunResult, AggregateResult
+
+__all__ = [
+    "SimConfig",
+    "HtmPolicy",
+    "Load",
+    "Store",
+    "Compute",
+    "Branch",
+    "AbortOp",
+    "Invoke",
+    "Think",
+    "MachineStats",
+    "CoreStats",
+    "Machine",
+    "run_workload",
+    "run_seeds",
+    "RunResult",
+    "AggregateResult",
+]

@@ -1,0 +1,205 @@
+"""Machine configuration (paper Table 2) and policy selection.
+
+The four evaluated configurations map onto two booleans:
+
+========== =================== =============
+Paper name ``powertm``          ``clear``
+========== =================== =============
+B           False               False
+P           True                False
+C           False               True
+W           True                True
+========== =================== =============
+"""
+
+import enum
+
+from repro.common.errors import ConfigurationError
+
+
+class HtmPolicy(enum.Enum):
+    """Conflict-resolution baseline."""
+
+    REQUESTER_WINS = "requester_wins"
+    POWER_TM = "power_tm"
+
+
+class SimConfig:
+    """All machine and policy parameters of a simulation.
+
+    Defaults reproduce Table 2: 32 Icelake-like cores, 48 KiB/12-way L1D,
+    512 KiB/8-way L2, 4 MiB/16-way L3, latencies 1/10/45/80 cycles,
+    ROB 352, LQ 128, SQ 72 entries; TSX-like HTM with a best-of-1..10
+    retry threshold before the fallback lock.
+    """
+
+    def __init__(
+        self,
+        num_cores=32,
+        # -- caches and memory (Table 2) --
+        l1_size=48 * 1024,
+        l1_assoc=12,
+        l2_size=512 * 1024,
+        l2_assoc=8,
+        l3_size=4 * 1024 * 1024,
+        l3_assoc=16,
+        l1_latency=1,
+        l2_latency=10,
+        l3_latency=45,
+        mem_latency=80,
+        directory_sets=4096,
+        # -- core speculative window (Table 2) --
+        rob_entries=352,
+        lq_entries=128,
+        sq_entries=72,
+        # -- speculation substrate --
+        # "htm": TSX-like out-of-core speculation (§4.2/§4.4); the SQ is
+        #        the only in-core limit on failed-mode discovery.
+        # "sle": in-core speculation (§4.1/§4.3); every speculative
+        #        attempt is bounded by the ROB/LQ/SQ window.
+        speculation="htm",
+        # -- HTM policy --
+        retry_threshold=5,
+        powertm=False,
+        backoff_base=8,
+        backoff_max_exponent=6,
+        # -- CLEAR --
+        clear=False,
+        ert_entries=16,
+        alt_entries=32,
+        crt_entries=64,
+        crt_assoc=8,
+        # Ablation knobs (paper defaults first):
+        # §4.4.2 discusses locking only the write set plus previously
+        # conflicting reads ("writes", the paper's choice) versus all
+        # accessed addresses ("all") in S-CL.
+        scl_lock_policy="writes",
+        # §4.1: on a conflict, keep discovering in failed mode instead
+        # of aborting immediately.
+        failed_mode_discovery=True,
+        # §5: the Conflicting Reads Table feeding S-CL lock promotion.
+        crt_enabled=True,
+        # -- transaction overheads (cycles) --
+        tx_begin_cycles=30,
+        tx_commit_cycles=25,
+        tx_abort_cycles=50,
+        lock_release_cycles=4,
+        # -- run control --
+        max_cycles=60_000_000,
+    ):
+        if num_cores <= 0:
+            raise ConfigurationError("need at least one core")
+        if retry_threshold < 1:
+            raise ConfigurationError("retry threshold must be >= 1")
+        if alt_entries < 1 or ert_entries < 1:
+            raise ConfigurationError("CLEAR tables need at least one entry")
+        if speculation not in ("htm", "sle"):
+            raise ConfigurationError(
+                "speculation must be 'htm' or 'sle', not {!r}".format(speculation)
+            )
+        if scl_lock_policy not in ("writes", "all"):
+            raise ConfigurationError(
+                "scl_lock_policy must be 'writes' or 'all', not {!r}".format(
+                    scl_lock_policy
+                )
+            )
+        self.num_cores = num_cores
+        self.l1_size = l1_size
+        self.l1_assoc = l1_assoc
+        self.l2_size = l2_size
+        self.l2_assoc = l2_assoc
+        self.l3_size = l3_size
+        self.l3_assoc = l3_assoc
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.l3_latency = l3_latency
+        self.mem_latency = mem_latency
+        self.directory_sets = directory_sets
+        self.speculation = speculation
+        self.rob_entries = rob_entries
+        self.lq_entries = lq_entries
+        self.sq_entries = sq_entries
+        self.retry_threshold = retry_threshold
+        self.powertm = powertm
+        self.backoff_base = backoff_base
+        self.backoff_max_exponent = backoff_max_exponent
+        self.clear = clear
+        self.ert_entries = ert_entries
+        self.alt_entries = alt_entries
+        self.crt_entries = crt_entries
+        self.crt_assoc = crt_assoc
+        self.scl_lock_policy = scl_lock_policy
+        self.failed_mode_discovery = failed_mode_discovery
+        self.crt_enabled = crt_enabled
+        self.tx_begin_cycles = tx_begin_cycles
+        self.tx_commit_cycles = tx_commit_cycles
+        self.tx_abort_cycles = tx_abort_cycles
+        self.lock_release_cycles = lock_release_cycles
+        self.max_cycles = max_cycles
+
+    @property
+    def htm_policy(self):
+        """The conflict-resolution baseline in use."""
+        return HtmPolicy.POWER_TM if self.powertm else HtmPolicy.REQUESTER_WINS
+
+    @property
+    def config_letter(self):
+        """The paper's single-letter configuration name (B/P/C/W)."""
+        if self.clear:
+            return "W" if self.powertm else "C"
+        return "P" if self.powertm else "B"
+
+    def replaced(self, **overrides):
+        """A copy of this configuration with some fields replaced."""
+        fields = dict(
+            num_cores=self.num_cores,
+            l1_size=self.l1_size,
+            l1_assoc=self.l1_assoc,
+            l2_size=self.l2_size,
+            l2_assoc=self.l2_assoc,
+            l3_size=self.l3_size,
+            l3_assoc=self.l3_assoc,
+            l1_latency=self.l1_latency,
+            l2_latency=self.l2_latency,
+            l3_latency=self.l3_latency,
+            mem_latency=self.mem_latency,
+            directory_sets=self.directory_sets,
+            speculation=self.speculation,
+            rob_entries=self.rob_entries,
+            lq_entries=self.lq_entries,
+            sq_entries=self.sq_entries,
+            retry_threshold=self.retry_threshold,
+            powertm=self.powertm,
+            backoff_base=self.backoff_base,
+            backoff_max_exponent=self.backoff_max_exponent,
+            clear=self.clear,
+            ert_entries=self.ert_entries,
+            alt_entries=self.alt_entries,
+            crt_entries=self.crt_entries,
+            crt_assoc=self.crt_assoc,
+            scl_lock_policy=self.scl_lock_policy,
+            failed_mode_discovery=self.failed_mode_discovery,
+            crt_enabled=self.crt_enabled,
+            tx_begin_cycles=self.tx_begin_cycles,
+            tx_commit_cycles=self.tx_commit_cycles,
+            tx_abort_cycles=self.tx_abort_cycles,
+            lock_release_cycles=self.lock_release_cycles,
+            max_cycles=self.max_cycles,
+        )
+        fields.update(overrides)
+        return SimConfig(**fields)
+
+    @classmethod
+    def for_letter(cls, letter, **overrides):
+        """Build a configuration from the paper's B/P/C/W naming."""
+        flags = {
+            "B": dict(powertm=False, clear=False),
+            "P": dict(powertm=True, clear=False),
+            "C": dict(powertm=False, clear=True),
+            "W": dict(powertm=True, clear=True),
+        }
+        if letter not in flags:
+            raise ConfigurationError("unknown configuration {!r}".format(letter))
+        fields = dict(flags[letter])
+        fields.update(overrides)
+        return cls(**fields)

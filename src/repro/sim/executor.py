@@ -1,0 +1,732 @@
+"""Per-core atomic-region execution state machine.
+
+Drives one hardware thread through its workload actions. Each atomic
+region invocation proceeds through attempts:
+
+1. A **speculative** attempt (TSX-like), doubling as CLEAR's discovery
+   phase when enabled. A conflict does not abort immediately — the
+   attempt enters *failed mode* and keeps executing to finish learning
+   its footprint (paper §4.1/§4.2).
+2. The retry runs in the mode picked by the decision tree: **NS-CL**
+   (ordered cacheline locking, non-speculative), **S-CL** (cacheline
+   locking of the critical footprint plus conflict detection), or a
+   plain **speculative retry**.
+3. When the counting-retry budget is exhausted, the **fallback** path
+   serializes the region under the global lock.
+
+The executor is driven by :class:`repro.sim.machine.Machine` via
+:meth:`step`, which performs one bounded action and reports either a
+cycle cost or a blocking condition.
+"""
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason, counts_toward_retry_limit, NON_MEMORY_REASONS
+from repro.htm.arbiter import TxPeerView
+from repro.htm.rwset import CapacityExceeded, ReadWriteSets
+from repro.memory.address import line_of_word
+from repro.memory.locking import LockDenied, NackError
+from repro.sim.program import AbortOp, Branch, Compute, Invoke, Load, Store, Think
+from repro.sim.replay import replay_body
+from repro.core.indirection import TaintedValue
+
+# Executor phases.
+IDLE = "idle"
+BODY = "body"
+LOCK_ACQUIRE = "lock_acquire"
+BEGIN_WAIT = "begin_wait"  # speculative begin blocked on fallback writer
+GUARD_WAIT = "guard_wait"  # CL begin blocked on fallback writer
+FALLBACK_WAIT = "fallback_wait"  # fallback begin blocked on lock holders
+RETRY = "retry"  # abort processed; next step starts the next attempt
+DONE = "done"
+
+# Safety bound on operations per attempt (defends against pathological
+# traversals of speculatively observed, inconsistent data structures).
+MAX_OPS_PER_ATTEMPT = 200_000
+
+# Step results.
+STEP_DELAY = "delay"
+STEP_BLOCK = "block"
+STEP_DONE = "done"
+
+
+class CoreExecutor:
+    """One core's execution state."""
+
+    def __init__(self, core, machine, controller=None):
+        self.core = core
+        self.machine = machine
+        self.config = machine.config
+        self.controller = controller
+        self.phase = IDLE
+        self.mode = None
+        self.rng = machine.rng.child(("core", core))
+        # Invocation state.
+        self.invocation = None
+        self.counting_retries = 0
+        self.attempt_index = 0
+        self.next_mode = ExecMode.SPECULATIVE
+        self.saved_discovery = None
+        self.invocation_aborts = 0
+        self.first_abort_footprint = None
+        self.fig1_recorded = False
+        # Attempt state.
+        self.discovery = None
+        self.rwsets = None
+        self.gen = None
+        self.gen_send_value = None
+        self.attempt_footprint = set()
+        self.attempt_ops = 0
+        self.attempt_loads = 0
+        self.attempt_stores = 0
+        self.pending_abort = None
+        self.fallback_read_held = False
+        self.fallback_write_held = False
+        self.locked_lines = set()
+        self._lock_groups = []
+        self._lock_group_idx = 0
+        self._lock_set_held = None
+        self.finish_time = None
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def step(self, now):
+        """Perform one bounded action; returns (kind, payload)."""
+        if self.phase == DONE:
+            return (STEP_DONE, None)
+        if self.phase == IDLE:
+            return self._step_idle(now)
+        if self.phase == BEGIN_WAIT:
+            return self._step_begin_wait()
+        if self.phase == GUARD_WAIT:
+            return self._step_guard_wait()
+        if self.phase == FALLBACK_WAIT:
+            return self._step_fallback_wait()
+        if self.phase == LOCK_ACQUIRE:
+            return self._step_lock_acquire()
+        if self.phase == RETRY:
+            return self._start_attempt()
+        if self.phase == BODY:
+            return self._step_body()
+        raise AssertionError("unknown phase {!r}".format(self.phase))
+
+    @property
+    def in_flight_speculative(self):
+        """True when this core has abortable speculative state."""
+        return (
+            self.phase == BODY
+            and self.mode is not None
+            and self.mode.is_speculative
+        )
+
+    def peer_view(self):
+        """Arbiter view of this core's transaction, or None.
+
+        A transaction with a pending abort is a zombie: its speculative
+        state is already doomed and will be discarded, so it must not
+        arbitrate — in particular a doomed power-mode transaction must
+        not NACK (and thereby abort) a fallback execution whose direct
+        stores cannot be rolled back.
+        """
+        if not self.in_flight_speculative or self.rwsets is None:
+            return None
+        if self.pending_abort is not None:
+            return None
+        return TxPeerView(
+            core=self.core,
+            rwsets=self.rwsets,
+            is_power=self.machine.power.is_power(self.core),
+            conflict_detection_active=True,
+            is_failed=self.mode is ExecMode.FAILED_DISCOVERY,
+        )
+
+    # ------------------------------------------------------------------
+    # Idle: fetch the next thread action
+    # ------------------------------------------------------------------
+
+    def _step_idle(self, now):
+        action = self.machine.next_action(self.core)
+        if action is None:
+            self.phase = DONE
+            self.finish_time = now
+            return (STEP_DONE, None)
+        if isinstance(action, Think):
+            self.machine.stats.record_compute(max(1, action.cycles))
+            return self._busy(max(1, action.cycles))
+        if isinstance(action, Invoke):
+            self.invocation = action
+            self.counting_retries = 0
+            self.attempt_index = 0
+            self.next_mode = ExecMode.SPECULATIVE
+            self.saved_discovery = None
+            self.invocation_aborts = 0
+            self.first_abort_footprint = None
+            self.fig1_recorded = False
+            return self._start_attempt()
+        raise TypeError("unknown thread action {!r}".format(action))
+
+    # ------------------------------------------------------------------
+    # Attempt setup
+    # ------------------------------------------------------------------
+
+    def _start_attempt(self):
+        self.attempt_index += 1
+        self.attempt_footprint = set()
+        self.attempt_ops = 0
+        self.attempt_loads = 0
+        self.attempt_stores = 0
+        self.pending_abort = None
+        self._note_fig1_retry_start()
+        mode = self.next_mode
+        if mode is ExecMode.FALLBACK:
+            return self._try_begin_fallback()
+        if mode in (ExecMode.NS_CL, ExecMode.S_CL):
+            return self._try_begin_cacheline_locked(mode)
+        return self._try_begin_speculative()
+
+    def _try_begin_speculative(self):
+        fallback = self.machine.fallback
+        if fallback.is_write_held():
+            # Explicit Fallback abort: the lock is found taken at begin.
+            self.machine.stats.record_abort(
+                self.core, AbortReason.EXPLICIT_FALLBACK, self.invocation.region_id
+            )
+            self.phase = BEGIN_WAIT
+            return (STEP_BLOCK, "fallback")
+        self.mode = ExecMode.SPECULATIVE
+        self.rwsets = self._new_rwsets()
+        self.rwsets.record_read(fallback.line)
+        self.discovery = None
+        if self.controller is not None:
+            self.discovery = self.controller.begin_invocation(self.invocation.region_id)
+        if self.config.powertm and self.counting_retries > 0:
+            self.machine.power.try_acquire(self.core)
+        self.gen = self.invocation.body_factory()
+        self.gen_send_value = None
+        self.phase = BODY
+        self.machine.stats.record_begin(self.core)
+        return self._busy(self.config.tx_begin_cycles)
+
+    def _step_begin_wait(self):
+        if self.machine.fallback.is_write_held():
+            return (STEP_BLOCK, "fallback")
+        return self._start_attempt_again()
+
+    def _start_attempt_again(self):
+        # Re-enter _start_attempt without consuming a new attempt index.
+        self.attempt_index -= 1
+        return self._start_attempt()
+
+    def _new_rwsets(self):
+        config = self.config
+        return ReadWriteSets(
+            l1_sets=config.l1_size // (64 * config.l1_assoc),
+            l1_assoc=config.l1_assoc,
+            l2_sets=config.l2_size // (64 * config.l2_assoc),
+            l2_assoc=config.l2_assoc,
+        )
+
+    # ------------------------------------------------------------------
+    # Cacheline-locked attempts (NS-CL / S-CL)
+    # ------------------------------------------------------------------
+
+    def _try_begin_cacheline_locked(self, mode):
+        fallback = self.machine.fallback
+        if not fallback.try_acquire_read(self.core):
+            self.phase = GUARD_WAIT
+            self.next_mode = mode
+            return (STEP_BLOCK, "fallback")
+        self.fallback_read_held = True
+        self.mode = mode
+        if mode is ExecMode.S_CL:
+            self.rwsets = self._new_rwsets()
+        else:
+            # NS-CL needs no conflict detection, but stores are still
+            # buffered until XEnd so the defensive footprint-deviation
+            # abort can never leak a partial update (capacity checks are
+            # off: discovery already proved the footprint fits).
+            self.rwsets = ReadWriteSets(l1_sets=None, l2_sets=None)
+        self.discovery = None
+        self._lock_groups = self.controller.prepare_lock_plan(self.saved_discovery, mode)
+        self._lock_group_idx = 0
+        self._lock_set_held = None
+        self.locked_lines = set()
+        self.phase = LOCK_ACQUIRE
+        self.machine.stats.record_begin(self.core)
+        return self._busy(self.config.tx_begin_cycles)
+
+    def _step_guard_wait(self):
+        if self.machine.fallback.is_write_held():
+            return (STEP_BLOCK, "fallback")
+        return self._start_attempt_again()
+
+    def _step_lock_acquire(self):
+        memsys = self.machine.memsys
+        if self._lock_group_idx >= len(self._lock_groups):
+            # All locks held: start executing the body.
+            self.gen = self.invocation.body_factory()
+            self.gen_send_value = None
+            self.phase = BODY
+            return self._busy(1)
+        group = self._lock_groups[self._lock_group_idx]
+        dir_set = group[0].dir_set
+        set_holder = memsys.directory.set_lock_holder(dir_set)
+        if set_holder is not None and set_holder != self.core:
+            return (STEP_BLOCK, ("dirset", dir_set))
+        cycles = 0
+        if len(group) > 1:
+            # Lexicographical group: probe the private cache first.
+            all_exclusive = all(
+                memsys.probe_exclusive_hit(self.core, entry.line) for entry in group
+            )
+            for entry in group:
+                entry.hit = memsys.probe_exclusive_hit(self.core, entry.line)
+            if not all_exclusive and self._lock_set_held is None:
+                memsys.directory.lock_set(self.core, dir_set)
+                self._lock_set_held = dir_set
+                cycles += self.config.l3_latency  # directory round to lock the set
+        try:
+            for entry in group:
+                if entry.locked:
+                    continue
+                cycles += self._acquire_one_lock(entry)
+        except LockDenied as denied:
+            self._release_group_set_lock()
+            if cycles:
+                self.machine.stats.add_busy(self.core, cycles, lock_acquire=True)
+            return (STEP_BLOCK, ("line", denied.line))
+        except NackError:
+            # A power-mode transaction holds the line in its sets and
+            # nacks the lock request (paper §5.2): this CL attempt aborts.
+            self._release_group_set_lock()
+            return self._abort_attempt(AbortReason.NACKED)
+        except OverflowError:
+            self._release_group_set_lock()
+            return self._abort_attempt(AbortReason.LOCK_SET_FAILURE)
+        self._release_group_set_lock()
+        self._lock_group_idx += 1
+        return self._busy(max(1, cycles), lock_acquire=True)
+
+    def _acquire_one_lock(self, entry):
+        machine = self.machine
+        # Taking a line exclusively conflicts with every speculative peer
+        # tracking it, exactly like a write request: requester wins,
+        # unless a power-mode peer nacks us (§5.2).
+        resolution = machine.arbiter.resolve(
+            self.core, entry.line, True, requester_failed=False,
+            peers=machine.peer_views(exclude=self.core),
+            requester_unstoppable=self.mode is ExecMode.NS_CL,
+        )
+        if resolution.requester_abort_reason is not None:
+            raise NackError(entry.line, resolution.nacking_core)
+        for victim in resolution.victims:
+            machine.executors[victim].receive_remote_conflict(entry.line, True)
+        latency = machine.memsys.acquire_line_lock(self.core, entry.line)
+        entry.locked = True
+        self.locked_lines.add(entry.line)
+        machine.stats.record_lock_acquired()
+        machine.stats.record_access("LOCK")
+        return latency
+
+    def _release_group_set_lock(self):
+        if self._lock_set_held is not None:
+            self.machine.memsys.directory.unlock_set(self.core, self._lock_set_held)
+            self._lock_set_held = None
+            self.machine.notify_release()
+
+    # ------------------------------------------------------------------
+    # Fallback attempts
+    # ------------------------------------------------------------------
+
+    def _try_begin_fallback(self):
+        fallback = self.machine.fallback
+        if not fallback.try_acquire_write(self.core):
+            self.phase = FALLBACK_WAIT
+            return (STEP_BLOCK, "fallback")
+        self.fallback_write_held = True
+        self.mode = ExecMode.FALLBACK
+        self.rwsets = None
+        self.discovery = None
+        if self.machine.power.release(self.core):
+            self.machine.notify_release()
+        # Taking the lock aborts every in-flight speculative AR that has
+        # the lock line in its read set.
+        self.machine.abort_all_speculative(AbortReason.OTHER_FALLBACK, exclude=self.core)
+        self.gen = self.invocation.body_factory()
+        self.gen_send_value = None
+        self.phase = BODY
+        self.machine.stats.record_begin(self.core)
+        return self._busy(self.config.tx_begin_cycles)
+
+    def _step_fallback_wait(self):
+        fallback = self.machine.fallback
+        if fallback.is_write_held() or fallback.readers:
+            return (STEP_BLOCK, "fallback")
+        return self._start_attempt_again()
+
+    # ------------------------------------------------------------------
+    # Body execution
+    # ------------------------------------------------------------------
+
+    def _step_body(self):
+        if self.pending_abort is not None:
+            reason = self.pending_abort
+            self.pending_abort = None
+            if (
+                self.mode is ExecMode.SPECULATIVE
+                and self.discovery is not None
+                and reason is AbortReason.MEMORY_CONFLICT
+                and not self.discovery.exhausted
+                and self.config.failed_mode_discovery
+            ):
+                # Hold the abort: continue discovering in failed mode.
+                self.controller.note_conflict(self.discovery)
+                self.mode = ExecMode.FAILED_DISCOVERY
+            elif (
+                self.mode is ExecMode.SPECULATIVE
+                and self.discovery is not None
+                and reason is AbortReason.MEMORY_CONFLICT
+                and not self.config.failed_mode_discovery
+            ):
+                # Ablation: no failed mode — decide from whatever the
+                # partial discovery saw, then abort immediately.
+                decision = self.controller.conclude_failed_discovery(self.discovery)
+                self.saved_discovery = self.discovery
+                return self._abort_attempt(reason, decided_mode=decision.mode)
+            else:
+                return self._abort_attempt(reason)
+        self.attempt_ops += 1
+        if self.attempt_ops > MAX_OPS_PER_ATTEMPT:
+            return self._abort_attempt(AbortReason.OTHER)
+        if self.config.speculation == "sle" and self.mode.is_speculative:
+            # In-core speculation (§4.1): the attempt lives inside the
+            # ROB/LQ/SQ window; exhausting it forces an abort and marks
+            # the region non-convertible.
+            overflow = None
+            if self.attempt_ops > self.config.rob_entries:
+                overflow = AbortReason.ROB_OVERFLOW
+            elif self.attempt_loads > self.config.lq_entries:
+                overflow = AbortReason.ROB_OVERFLOW
+            elif self.attempt_stores > self.config.sq_entries:
+                overflow = AbortReason.SQ_OVERFLOW
+            if overflow is not None:
+                if self.controller is not None:
+                    entry = self.controller.ert.ensure(self.invocation.region_id)
+                    entry.is_convertible = False
+                return self._abort_attempt(overflow)
+        try:
+            op = self.gen.send(self.gen_send_value)
+        except StopIteration:
+            return self._region_end()
+        self.gen_send_value = None
+        if isinstance(op, Load):
+            return self._exec_memory_op(op, is_store=False)
+        if isinstance(op, Store):
+            return self._exec_memory_op(op, is_store=True)
+        if isinstance(op, Compute):
+            if self.discovery is not None:
+                self.discovery.on_compute(op.ops)
+            self.machine.stats.record_compute(op.ops)
+            return self._busy(max(1, op.cycles))
+        if isinstance(op, Branch):
+            if self.discovery is not None:
+                self.discovery.on_branch(op.condition_tainted)
+            self.machine.stats.record_branch()
+            return self._busy(1)
+        if isinstance(op, AbortOp):
+            if self.mode is ExecMode.FALLBACK:
+                # The fallback path is not a transaction: an XAbort there
+                # simply ends the region (its direct stores are already
+                # architectural). This keeps always-aborting regions from
+                # cycling forever between fallback and retry.
+                return self._commit()
+            return self._abort_attempt(AbortReason.EXPLICIT)
+        raise TypeError("AR body yielded unknown op {!r}".format(op))
+
+    def _exec_memory_op(self, op, is_store):
+        machine = self.machine
+        memsys = machine.memsys
+        line = line_of_word(op.word_addr)
+        self.attempt_footprint.add(line)
+        if is_store:
+            self.attempt_stores += 1
+        else:
+            self.attempt_loads += 1
+        mode = self.mode
+
+        # NS-CL guarantee: every access must be within the learned,
+        # locked footprint. A deviation disproves immutability.
+        if mode is ExecMode.NS_CL and line not in self.locked_lines:
+            if self.controller is not None:
+                entry = self.controller.ert.ensure(self.invocation.region_id)
+                entry.is_immutable = False
+            return self._abort_attempt(AbortReason.FOOTPRINT_DEVIATION)
+
+        # Cacheline lock gate.
+        if line not in self.locked_lines:
+            try:
+                memsys.locks.check_access(
+                    self.core, line, nackable=mode is not ExecMode.FALLBACK
+                )
+            except NackError:
+                return self._abort_attempt(AbortReason.NACKED)
+            except LockDenied as denied:
+                return (STEP_BLOCK, ("line", denied.line))
+
+        # Failed-mode stores never leave the SQ: no coherence request.
+        if mode is ExecMode.FAILED_DISCOVERY and is_store:
+            self.discovery.on_store(line, op.addr_tainted)
+            if self.rwsets is not None:
+                try:
+                    self.rwsets.record_write(line)
+                except CapacityExceeded:
+                    return self._abort_attempt(AbortReason.CAPACITY)
+                self.rwsets.buffer_store(op.word_addr, op.store_value)
+            if self.discovery.exhausted:
+                return self._conclude_exhausted_failed_discovery()
+            return self._busy(1, failed_discovery=True)
+
+        # Conflict arbitration (failed-mode loads are non-aborting).
+        # Fallback runs under mutual exclusion: every speculative AR was
+        # aborted when the lock was taken and none can begin while it is
+        # held, so its direct (unrecoverable) stores never arbitrate.
+        if mode is not ExecMode.FALLBACK:
+            resolution = machine.arbiter.resolve(
+                self.core,
+                line,
+                is_store,
+                requester_failed=mode is ExecMode.FAILED_DISCOVERY,
+                peers=machine.peer_views(exclude=self.core),
+            )
+            if resolution.requester_abort_reason is not None:
+                return self._abort_attempt(resolution.requester_abort_reason)
+            for victim in resolution.victims:
+                machine.executors[victim].receive_remote_conflict(line, is_store)
+
+        result = memsys.access(self.core, line, is_store)
+        machine.stats.record_access(result.level)
+
+        # Speculative set tracking / capacity.
+        if self.rwsets is not None:
+            try:
+                if is_store:
+                    self.rwsets.record_write(line)
+                else:
+                    self.rwsets.record_read(line)
+            except CapacityExceeded:
+                if self.discovery is not None:
+                    entry = self.controller.ert.ensure(self.invocation.region_id)
+                    entry.is_convertible = False
+                return self._abort_attempt(AbortReason.CAPACITY)
+
+        # Discovery footprint and indirection tracking.
+        failed = mode is ExecMode.FAILED_DISCOVERY
+        if self.discovery is not None:
+            if is_store:
+                self.discovery.on_store(line, op.addr_tainted)
+            else:
+                self.discovery.on_load(line, op.addr_tainted)
+            if failed and self.discovery.exhausted:
+                return self._conclude_exhausted_failed_discovery()
+
+        # Architectural data movement.
+        if is_store:
+            if self.rwsets is not None:
+                self.rwsets.buffer_store(op.word_addr, op.store_value)
+            else:
+                machine.memory.store(op.word_addr, op.store_value)
+            return self._busy(result.latency, failed_discovery=failed)
+        if self.rwsets is not None:
+            forwarded = self.rwsets.forwarded_load(op.word_addr)
+            value = forwarded if forwarded is not None else machine.memory.load(op.word_addr)
+        else:
+            value = machine.memory.load(op.word_addr)
+        self.gen_send_value = TaintedValue(value, tainted=True)
+        return self._busy(result.latency, failed_discovery=failed)
+
+    # ------------------------------------------------------------------
+    # Region end (XEnd)
+    # ------------------------------------------------------------------
+
+    def _region_end(self):
+        mode = self.mode
+        if mode is ExecMode.FAILED_DISCOVERY:
+            decision = self.controller.conclude_failed_discovery(self.discovery)
+            self.saved_discovery = self.discovery
+            self.next_mode = decision.mode
+            return self._abort_attempt(
+                AbortReason.MEMORY_CONFLICT, decided_mode=decision.mode
+            )
+        return self._commit()
+
+    def _conclude_exhausted_failed_discovery(self):
+        """Failed discovery ran out of resources: abort immediately (§4.1)."""
+        decision = self.controller.conclude_failed_discovery(self.discovery)
+        self.saved_discovery = None
+        return self._abort_attempt(
+            AbortReason.MEMORY_CONFLICT, decided_mode=decision.mode
+        )
+
+    def _commit(self):
+        machine = self.machine
+        mode = self.mode
+        if self.rwsets is not None:
+            self.rwsets.drain_to(machine.memory)
+        if self.controller is not None:
+            if self.discovery is not None and mode is ExecMode.SPECULATIVE:
+                self.controller.conclude_committed_discovery(self.discovery)
+            else:
+                self.controller.ert.ensure(self.invocation.region_id).note_commit()
+        self._release_all_holdings()
+        if machine.power.release(self.core):
+            machine.notify_release()
+        machine.stats.record_commit(
+            self.core, mode, self.counting_retries, self.invocation.region_id
+        )
+        self._clear_attempt_state()
+        self.invocation = None
+        self.phase = IDLE
+        return self._busy(self.config.tx_commit_cycles)
+
+    # ------------------------------------------------------------------
+    # Aborts
+    # ------------------------------------------------------------------
+
+    def receive_remote_conflict(self, line, remote_is_write):
+        """A remote request conflicted with our speculative state."""
+        if not self.in_flight_speculative:
+            return
+        if self.mode is ExecMode.FAILED_DISCOVERY:
+            return  # already doomed; nothing more can hurt it
+        # Remember conflicting reads for a future S-CL attempt (CRT).
+        if (
+            self.controller is not None
+            and remote_is_write
+            and self.rwsets is not None
+            and line in self.rwsets.read_set
+            and line not in self.rwsets.write_set
+        ):
+            self.controller.note_scl_conflicting_read(line)
+        if self.pending_abort is None:
+            self.pending_abort = AbortReason.MEMORY_CONFLICT
+
+    def _abort_attempt(self, reason, decided_mode=None):
+        machine = self.machine
+        mode = self.mode
+        machine.stats.record_abort(self.core, reason, self.invocation.region_id)
+        self.invocation_aborts += 1
+        if self.invocation_aborts == 1:
+            # Fig. 1 instrumentation: the complete footprint the AR
+            # would access, as of the abort (replay; zero sim time).
+            self.first_abort_footprint = replay_body(
+                self.invocation.body_factory, machine.memory
+            ).footprint
+        if self.rwsets is not None:
+            self.rwsets.discard()
+        self._release_all_holdings()
+        if counts_toward_retry_limit(reason):
+            self.counting_retries += 1
+
+        # Pick the next attempt's mode.
+        if decided_mode is not None:
+            self.next_mode = decided_mode
+        elif mode is ExecMode.S_CL:
+            if reason in NON_MEMORY_REASONS:
+                self.controller.mark_non_discoverable(self.invocation.region_id)
+            self.next_mode = ExecMode.SPECULATIVE
+        elif mode is ExecMode.NS_CL:
+            self.next_mode = ExecMode.SPECULATIVE
+        else:
+            self.next_mode = ExecMode.SPECULATIVE
+        if self.counting_retries >= self.config.retry_threshold:
+            self.next_mode = ExecMode.FALLBACK
+        if self.next_mode is not ExecMode.SPECULATIVE:
+            # Power priority only matters for speculative retries; keep
+            # holding the token through a CL retry and it just starves
+            # the other cores.
+            if machine.power.release(self.core):
+                machine.notify_release()
+
+        self._clear_attempt_state()
+        self.phase = RETRY
+        if reason is AbortReason.NACKED:
+            # A NACK means a cacheline-locked or power-mode holder is
+            # finishing the contended line: park until some lock/guard
+            # releases instead of burning abort-retry cycles against it.
+            self.machine.stats.add_busy(self.core, self.config.tx_abort_cycles)
+            return (STEP_BLOCK, "nack")
+        backoff = 0
+        if self.next_mode is ExecMode.SPECULATIVE and self.config.backoff_base:
+            exponent = min(self.counting_retries, self.config.backoff_max_exponent)
+            backoff = self.rng.randint(0, self.config.backoff_base * (2 ** exponent))
+        self.machine.stats.add_busy(self.core, self.config.tx_abort_cycles + backoff)
+        return (STEP_DELAY, self.config.tx_abort_cycles + backoff)
+
+    def _clear_attempt_state(self):
+        self.gen = None
+        self.gen_send_value = None
+        self.discovery = None
+        self.rwsets = None
+        self.mode = None
+        self.locked_lines = set()
+        self._lock_groups = []
+        self._lock_group_idx = 0
+
+    def _release_all_holdings(self):
+        machine = self.machine
+        anything_released = False
+        released = machine.memsys.release_all_locks(self.core)
+        if released:
+            machine.stats.add_busy(self.core, self.config.lock_release_cycles)
+            anything_released = True
+        if self.fallback_read_held:
+            machine.fallback.release_read(self.core)
+            self.fallback_read_held = False
+            anything_released = True
+        if self.fallback_write_held:
+            machine.fallback.release_write(self.core)
+            self.fallback_write_held = False
+            anything_released = True
+        if anything_released:
+            machine.notify_release()
+
+    # ------------------------------------------------------------------
+    # Fig. 1 bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_fig1_retry_start(self):
+        """Fig. 1 instrumentation, taken at the start of the first retry.
+
+        An aborted attempt usually stopped partway through the region,
+        so partial footprints cannot be compared. Instead — matching the
+        paper's definition ("ARs that access a memory footprint lower
+        than 32 cachelines and [it] remains immutable on the first
+        retry") — the region body is *replayed* to completion against
+        memory as of the abort and again as of the retry, and the two
+        complete footprints are compared. The replay is measurement
+        machinery only: zero simulated time, no architectural effects.
+        """
+        if self.fig1_recorded or self.first_abort_footprint is None:
+            return
+        if self.attempt_index != 2:
+            return
+        retry_footprint = replay_body(
+            self.invocation.body_factory, self.machine.memory
+        ).footprint
+        first = self.first_abort_footprint
+        same = first == retry_footprint
+        small = len(first) <= self.config.alt_entries
+        self.machine.stats.record_first_retry(same and small)
+        self.fig1_recorded = True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _busy(self, cycles, failed_discovery=False, lock_acquire=False):
+        self.machine.stats.add_busy(
+            self.core, cycles, failed_discovery=failed_discovery,
+            lock_acquire=lock_acquire,
+        )
+        return (STEP_DELAY, cycles)

@@ -1,0 +1,169 @@
+"""The assembled multicore machine and its discrete-event loop.
+
+One :class:`Machine` is one simulation run: a configuration, a workload
+instance, and a seed. Cores advance through a time-ordered event heap;
+each pop performs one bounded executor action (one AR operation, one
+lock-group acquisition, one retry decision, ...). Cores that must wait —
+for a cacheline lock, a directory-set lock, or the fallback lock — are
+parked and woken whenever any holder releases, then re-check their
+condition (no lost wakeups, no directory transients held, matching the
+paper's directory-retry rule).
+"""
+
+import heapq
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.core.controller import ClearController
+from repro.core.modes import ExecMode
+from repro.htm.arbiter import ConflictArbiter
+from repro.htm.fallback import FallbackLock
+from repro.htm.powertm import PowerToken
+from repro.memory.address import line_of_word
+from repro.memory.shared import Allocator, SharedMemory
+from repro.memory.system import MemorySystem
+from repro.sim.executor import (
+    STEP_BLOCK,
+    STEP_DELAY,
+    STEP_DONE,
+    CoreExecutor,
+)
+from repro.sim.stats import MachineStats
+
+
+class Machine:
+    """A configured multicore machine running one workload."""
+
+    def __init__(self, config, workload, seed=1):
+        self.config = config
+        self.workload = workload
+        self.seed = seed
+        self.rng = DeterministicRng(seed)
+        self.memory = SharedMemory()
+        self.allocator = Allocator()
+        self.memsys = MemorySystem(
+            num_cores=config.num_cores,
+            l1_size=config.l1_size,
+            l1_assoc=config.l1_assoc,
+            l2_size=config.l2_size,
+            l2_assoc=config.l2_assoc,
+            l3_size=config.l3_size,
+            l3_assoc=config.l3_assoc,
+            l1_latency=config.l1_latency,
+            l2_latency=config.l2_latency,
+            l3_latency=config.l3_latency,
+            mem_latency=config.mem_latency,
+            directory_sets=config.directory_sets,
+        )
+        fallback_word = self.allocator.alloc_lines(1)
+        self.fallback = FallbackLock(line_of_word(fallback_word))
+        self.power = PowerToken()
+        self.arbiter = ConflictArbiter()
+        self.stats = MachineStats(config.num_cores)
+        workload.setup(
+            self.memory,
+            self.allocator,
+            num_threads=config.num_cores,
+            rng=self.rng.child("setup"),
+        )
+        self.executors = []
+        for core in range(config.num_cores):
+            controller = None
+            if config.clear:
+                controller = ClearController(
+                    core,
+                    dir_set_of=self.memsys.directory.set_of,
+                    can_coreside=self.memsys.l1[core].can_coreside,
+                    ert_entries=config.ert_entries,
+                    crt_entries=config.crt_entries,
+                    crt_assoc=config.crt_assoc,
+                    alt_entries=config.alt_entries,
+                    sq_capacity=config.sq_entries,
+                    lq_capacity=config.lq_entries,
+                    scl_lock_policy=config.scl_lock_policy,
+                    crt_enabled=config.crt_enabled,
+                )
+            self.executors.append(CoreExecutor(core, self, controller))
+        self._action_rngs = [
+            self.rng.child(("actions", core)) for core in range(config.num_cores)
+        ]
+        self._release_pending = False
+
+    # -- services used by executors -----------------------------------------
+
+    def next_action(self, core):
+        """Next thread-level action for a core (Invoke/Think/None)."""
+        return self.workload.next_action(core, self._action_rngs[core])
+
+    def peer_views(self, exclude):
+        """Arbiter views of every other in-flight transaction."""
+        views = []
+        for executor in self.executors:
+            if executor.core == exclude:
+                continue
+            view = executor.peer_view()
+            if view is not None:
+                views.append(view)
+        return views
+
+    def abort_all_speculative(self, reason, exclude):
+        """Fallback acquisition: doom every in-flight speculative AR."""
+        for executor in self.executors:
+            if executor.core == exclude:
+                continue
+            if not executor.in_flight_speculative:
+                continue
+            if executor.mode is ExecMode.S_CL:
+                raise SimulationError(
+                    "S-CL transaction running while fallback acquired: "
+                    "the read lock should have prevented this"
+                )
+            executor.pending_abort = reason
+
+    def notify_release(self):
+        """Some lock/guard was released: wake all parked cores."""
+        self._release_pending = True
+
+    # -- the event loop -------------------------------------------------------
+
+    def run(self):
+        """Run to completion; returns the populated MachineStats."""
+        config = self.config
+        heap = []
+        for core in range(config.num_cores):
+            heapq.heappush(heap, (0, core))
+        parked = {}
+        now = 0
+        while heap:
+            now, core = heapq.heappop(heap)
+            if now > config.max_cycles:
+                self.stats.truncated = True
+                break
+            executor = self.executors[core]
+            kind, payload = executor.step(now)
+            if kind == STEP_DELAY:
+                heapq.heappush(heap, (now + max(1, payload), core))
+            elif kind == STEP_BLOCK:
+                parked[core] = now
+            elif kind != STEP_DONE:
+                raise SimulationError("unknown step result {!r}".format(kind))
+            if self._release_pending:
+                self._release_pending = False
+                for parked_core, park_time in parked.items():
+                    self.stats.add_wait(parked_core, max(0, now - park_time))
+                    heapq.heappush(heap, (max(park_time, now) + 1, parked_core))
+                parked.clear()
+        if parked and not self.stats.truncated:
+            blocked = sorted(parked)
+            raise SimulationError(
+                "deadlock: cores {} parked with no runnable core".format(blocked)
+            )
+        finish_times = [
+            executor.finish_time
+            for executor in self.executors
+            if executor.finish_time is not None
+        ]
+        self.stats.makespan_cycles = max(finish_times) if finish_times else now
+        if self.stats.truncated:
+            self.stats.makespan_cycles = max(self.stats.makespan_cycles, now)
+        return self.stats

@@ -1,0 +1,152 @@
+"""The operation vocabulary atomic-region bodies are written in.
+
+An AR body is a Python *generator function*: it yields operation objects
+and receives load results back, so the executor can interleave cores at
+single-operation granularity and charge per-operation latencies::
+
+    def swap_body():
+        value_a = yield Load(addr_a)
+        value_b = yield Load(addr_b)
+        yield Store(addr_a, value_b)
+        yield Store(addr_b, value_a)
+
+Loads return :class:`repro.core.indirection.TaintedValue` (the loaded
+value with its indirection bit set); using such a value — or anything
+arithmetically derived from it — as a later ``Load``/``Store`` address
+is detected by discovery as an indirection. Branching on an AR-loaded
+value must be routed through ``Branch`` so the control-dependence rule
+of §3 applies::
+
+    head = yield Load(head_addr)
+    yield Branch(head)           # footprint now depends on loaded data
+    if head != 0:
+        value = yield Load(head)
+
+A body is re-invoked from scratch for every execution attempt, against
+current shared memory, so footprints genuinely mutate with the data.
+"""
+
+from repro.core.indirection import taint_of, value_of
+
+
+class Load:
+    """Read one word; yields back its (tainted) value."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+    @property
+    def word_addr(self):
+        """Concrete word address (taint stripped)."""
+        return value_of(self.addr)
+
+    @property
+    def addr_tainted(self):
+        """True if the address derives from an AR-loaded value."""
+        return taint_of(self.addr)
+
+    def __repr__(self):
+        return "Load({})".format(self.word_addr)
+
+
+class Store:
+    """Write one word. Only the *address* taints immutability (§3:
+    arrayswap stores loaded data to fixed addresses and stays immutable).
+    """
+
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr, value):
+        self.addr = addr
+        self.value = value
+
+    @property
+    def word_addr(self):
+        return value_of(self.addr)
+
+    @property
+    def addr_tainted(self):
+        return taint_of(self.addr)
+
+    @property
+    def store_value(self):
+        """Concrete value to store (taint stripped)."""
+        return value_of(self.value)
+
+    def __repr__(self):
+        return "Store({}, {})".format(self.word_addr, self.store_value)
+
+
+class Compute:
+    """Non-memory work inside or outside an AR."""
+
+    __slots__ = ("cycles", "ops")
+
+    def __init__(self, cycles=1, ops=None):
+        if cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+        self.cycles = cycles
+        self.ops = cycles if ops is None else ops
+
+    def __repr__(self):
+        return "Compute(cycles={})".format(self.cycles)
+
+
+class Branch:
+    """A conditional branch; tainted conditions poison immutability."""
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition):
+        self.condition = condition
+
+    @property
+    def condition_tainted(self):
+        """True if the condition derives from an AR-loaded value."""
+        return taint_of(self.condition)
+
+    def __repr__(self):
+        return "Branch(tainted={})".format(self.condition_tainted)
+
+
+class AbortOp:
+    """An explicit abort (XAbort) issued by the workload."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "AbortOp()"
+
+
+class Invoke:
+    """A thread-level action: run one atomic region.
+
+    ``region_id`` identifies the *static* AR (the paper's Program
+    Counter key into the ERT); ``body_factory`` builds a fresh body
+    generator for each execution attempt.
+    """
+
+    __slots__ = ("region_id", "body_factory")
+
+    def __init__(self, region_id, body_factory):
+        self.region_id = region_id
+        self.body_factory = body_factory
+
+    def __repr__(self):
+        return "Invoke({!r})".format(self.region_id)
+
+
+class Think:
+    """A thread-level action: non-transactional work between ARs."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles):
+        if cycles < 0:
+            raise ValueError("think cycles must be non-negative")
+        self.cycles = cycles
+
+    def __repr__(self):
+        return "Think({})".format(self.cycles)

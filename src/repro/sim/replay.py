@@ -1,0 +1,81 @@
+"""Side-effect-free replay of an AR body against current memory.
+
+Used in two places:
+
+- the Fig. 1 instrumentation replays a region at its first abort and
+  again at the start of its retry, comparing the *complete* footprints
+  (this is how the paper's motivation measurement is defined — an AR is
+  counted when its full cacheline set is unchanged on the first retry);
+- the characterizer (:mod:`repro.analysis.characterize`) probes bodies
+  for taint and footprint stability.
+
+Stores are buffered locally (reads see them), so a replay never touches
+architectural memory unless ``commit=True``.
+"""
+
+from repro.core.indirection import TaintedValue
+from repro.memory.address import line_of_word
+from repro.sim.program import AbortOp, Branch, Compute, Load, Store
+
+
+class ReplayResult:
+    """Footprint and taint observations from one replayed execution."""
+
+    __slots__ = ("footprint", "indirection_seen", "loads", "stores")
+
+    def __init__(self, footprint, indirection_seen, loads, stores):
+        self.footprint = footprint
+        self.indirection_seen = indirection_seen
+        self.loads = loads
+        self.stores = stores
+
+    @property
+    def footprint_size(self):
+        """Number of distinct cachelines touched."""
+        return len(self.footprint)
+
+
+def replay_body(body_factory, memory, commit=False):
+    """Execute an AR body against ``memory``, tracking taint/footprint.
+
+    With ``commit=False`` stores stay in a local buffer (reads see it),
+    leaving memory untouched; with ``commit=True`` the buffered stores
+    are applied at the end, like a committing transaction.
+    """
+    footprint = set()
+    buffered = {}
+    indirection_seen = False
+    loads = 0
+    stores = 0
+    gen = body_factory()
+    send_value = None
+    while True:
+        try:
+            op = gen.send(send_value)
+        except StopIteration:
+            break
+        send_value = None
+        if isinstance(op, Load):
+            footprint.add(line_of_word(op.word_addr))
+            indirection_seen = indirection_seen or op.addr_tainted
+            loads += 1
+            if op.word_addr in buffered:
+                raw = buffered[op.word_addr]
+            else:
+                raw = memory.peek(op.word_addr)
+            send_value = TaintedValue(raw, tainted=True)
+        elif isinstance(op, Store):
+            footprint.add(line_of_word(op.word_addr))
+            indirection_seen = indirection_seen or op.addr_tainted
+            stores += 1
+            buffered[op.word_addr] = op.store_value
+        elif isinstance(op, Branch):
+            indirection_seen = indirection_seen or op.condition_tainted
+        elif isinstance(op, (Compute, AbortOp)):
+            pass
+        else:
+            raise TypeError("unknown op {!r}".format(op))
+    if commit:
+        for word_addr, value in buffered.items():
+            memory.poke(word_addr, value)
+    return ReplayResult(frozenset(footprint), indirection_seen, loads, stores)

@@ -1,0 +1,162 @@
+"""Run orchestration: multi-seed runs and the paper's trimmed mean.
+
+The paper executes every application "10 times with different seeds and
+the trimmed mean is used to remove 3 outliers"; :func:`trimmed_mean`
+implements that (dropping the 2 highest and 1 lowest by default when
+removing 3), and :func:`run_seeds` wires it to the simulator.
+"""
+
+from repro.core.modes import ExecMode
+from repro.energy.model import EnergyModel
+from repro.sim.machine import Machine
+
+
+def trimmed_mean(values, trim=3):
+    """Mean after removing ``trim`` outliers (⌈trim/2⌉ high, ⌊trim/2⌋ low).
+
+    Falls back to a plain mean when too few values remain.
+    """
+    ordered = sorted(values)
+    if len(ordered) > trim >= 1:
+        drop_high = (trim + 1) // 2
+        drop_low = trim // 2
+        ordered = ordered[drop_low:len(ordered) - drop_high]
+    if not ordered:
+        return 0.0
+    return sum(ordered) / len(ordered)
+
+
+class RunResult:
+    """One simulation run's headline metrics."""
+
+    def __init__(self, workload_name, config, seed, stats, energy):
+        self.workload_name = workload_name
+        self.config = config
+        self.seed = seed
+        self.stats = stats
+        self.energy = energy
+
+    @property
+    def cycles(self):
+        """Makespan in cycles."""
+        return self.stats.makespan_cycles
+
+    @property
+    def aborts_per_commit(self):
+        """Fig. 9 metric for this run/aggregate."""
+        return self.stats.aborts_per_commit()
+
+    def __repr__(self):
+        return "RunResult({}, {}, seed={}, cycles={})".format(
+            self.workload_name, self.config.config_letter, self.seed, self.cycles
+        )
+
+
+class AggregateResult:
+    """Trimmed-mean metrics over several seeds of one (workload, config)."""
+
+    def __init__(self, workload_name, config, runs, trim=3):
+        if not runs:
+            raise ValueError("need at least one run to aggregate")
+        self.workload_name = workload_name
+        self.config = config
+        self.runs = list(runs)
+        self.trim = trim
+
+    def _metric(self, extractor):
+        return trimmed_mean([extractor(run) for run in self.runs], self.trim)
+
+    @property
+    def cycles(self):
+        return self._metric(lambda run: run.cycles)
+
+    @property
+    def energy(self):
+        """Trimmed-mean total energy."""
+        return self._metric(lambda run: run.energy.total)
+
+    @property
+    def aborts_per_commit(self):
+        return self._metric(lambda run: run.aborts_per_commit)
+
+    @property
+    def discovery_time_fraction(self):
+        """Share of busy cycles spent in failed-mode discovery."""
+        return self._metric(lambda run: run.stats.discovery_time_fraction())
+
+    def commit_mode_shares(self):
+        """Mean share of commits per mode (Fig. 12)."""
+        shares = {}
+        for mode in ExecMode:
+            values = [
+                run.stats.commit_mode_shares().get(mode, 0.0) for run in self.runs
+            ]
+            shares[mode] = trimmed_mean(values, self.trim)
+        return shares
+
+    def abort_category_shares(self):
+        """Mean share of aborts per category (Fig. 11)."""
+        categories = set()
+        for run in self.runs:
+            categories.update(run.stats.abort_category_shares())
+        return {
+            category: trimmed_mean(
+                [
+                    run.stats.abort_category_shares().get(category, 0.0)
+                    for run in self.runs
+                ],
+                self.trim,
+            )
+            for category in categories
+        }
+
+    def retry_shares(self):
+        """Mean (first-retry, n-retry, fallback) shares (Fig. 13)."""
+        first = trimmed_mean([run.stats.retry_shares()[0] for run in self.runs], self.trim)
+        n_retry = trimmed_mean([run.stats.retry_shares()[1] for run in self.runs], self.trim)
+        fallback = trimmed_mean([run.stats.retry_shares()[2] for run in self.runs], self.trim)
+        return (first, n_retry, fallback)
+
+    @property
+    def first_retry_immutable_ratio(self):
+        """Fig. 1 ratio."""
+        return self._metric(lambda run: run.stats.first_retry_immutable_ratio())
+
+
+def run_workload(workload_factory, config, seed=1, energy_model=None):
+    """Simulate one (workload, config, seed) and return a RunResult."""
+    workload = workload_factory()
+    machine = Machine(config, workload, seed)
+    stats = machine.run()
+    model = energy_model or EnergyModel()
+    energy = model.evaluate(stats)
+    return RunResult(workload.name, config, seed, stats, energy)
+
+
+def run_seeds(workload_factory, config, seeds=range(1, 11), trim=3, energy_model=None):
+    """Simulate several seeds and aggregate with the paper's trimmed mean."""
+    runs = [
+        run_workload(workload_factory, config, seed, energy_model) for seed in seeds
+    ]
+    return AggregateResult(runs[0].workload_name, config, runs, trim)
+
+
+def sweep_retry_threshold(workload_factory, config, thresholds=range(1, 11),
+                          seeds=(1, 2, 3), trim=0):
+    """Design-space exploration: best retry threshold per application.
+
+    The paper runs "from 1 to 10 retries for all benchmarks and selects
+    the best-performing one in each case". Returns the best aggregate
+    (by mean cycles) and the threshold that produced it.
+    """
+    best = None
+    best_threshold = None
+    for threshold in thresholds:
+        candidate = run_seeds(
+            workload_factory, config.replaced(retry_threshold=threshold),
+            seeds=seeds, trim=trim,
+        )
+        if best is None or candidate.cycles < best.cycles:
+            best = candidate
+            best_threshold = threshold
+    return best, best_threshold

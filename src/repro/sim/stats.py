@@ -1,0 +1,197 @@
+"""Measurement surface backing every figure of the evaluation.
+
+The executor reports events here; the analysis layer derives the
+paper's metrics:
+
+- Fig. 8  — makespan plus cycles spent running aborted-in-discovery.
+- Fig. 9  — aborts per committed transaction.
+- Fig. 10 — energy inputs (per-level access counts, event counts).
+- Fig. 11 — abort breakdown by category.
+- Fig. 12 — commit breakdown by execution mode.
+- Fig. 13 — commit breakdown by number of (counting) retries.
+- Fig. 1  — footprint stability of first retries.
+"""
+
+from collections import Counter
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import categorize_abort
+
+
+class CoreStats:
+    """Per-core cycle accounting."""
+
+    __slots__ = ("busy_cycles", "discovery_failed_cycles", "wait_cycles",
+                 "lock_acquire_cycles", "commits", "aborts")
+
+    def __init__(self):
+        self.busy_cycles = 0
+        self.discovery_failed_cycles = 0
+        self.wait_cycles = 0
+        self.lock_acquire_cycles = 0
+        self.commits = 0
+        self.aborts = 0
+
+
+class MachineStats:
+    """Aggregated statistics for one simulation run."""
+
+    def __init__(self, num_cores):
+        self.num_cores = num_cores
+        self.cores = [CoreStats() for _ in range(num_cores)]
+        self.commits_by_mode = Counter()
+        self.commits_by_retries = Counter()  # non-fallback commits only
+        self.fallback_commit_retries = Counter()
+        self.aborts_by_reason = Counter()
+        self.aborts_by_category = Counter()
+        self.per_region_commits = Counter()
+        self.per_region_aborts = Counter()
+        # Energy inputs.
+        self.accesses_by_level = Counter()
+        self.compute_ops = 0
+        self.branch_ops = 0
+        self.tx_begins = 0
+        self.line_locks_acquired = 0
+        # Fig. 1 instrumentation.
+        self.first_retry_observations = 0
+        self.first_retry_immutable_small = 0
+        # Run outcome.
+        self.makespan_cycles = 0
+        self.truncated = False
+
+    # -- event recording ------------------------------------------------------
+
+    def record_begin(self, core):
+        """A transaction (any mode) began an attempt."""
+        self.tx_begins += 1
+
+    def record_commit(self, core, mode, counting_retries, region_id):
+        """An AR committed in ``mode`` after ``counting_retries`` counted retries."""
+        self.cores[core].commits += 1
+        self.commits_by_mode[mode] += 1
+        self.per_region_commits[region_id] += 1
+        if mode is ExecMode.FALLBACK:
+            self.fallback_commit_retries[counting_retries] += 1
+        else:
+            self.commits_by_retries[counting_retries] += 1
+
+    def record_abort(self, core, reason, region_id):
+        """An attempt aborted for ``reason`` (categorized per Fig. 11)."""
+        self.cores[core].aborts += 1
+        self.aborts_by_reason[reason] += 1
+        self.aborts_by_category[categorize_abort(reason)] += 1
+        self.per_region_aborts[region_id] += 1
+
+    def record_access(self, level):
+        """A memory access served at ``level`` (L1/L2/L3/MEM/C2C/UPG/LOCK)."""
+        self.accesses_by_level[level] += 1
+
+    def record_compute(self, ops=1):
+        """Non-memory work (for the dynamic-energy model)."""
+        self.compute_ops += ops
+
+    def record_branch(self):
+        """A branch retired inside an AR."""
+        self.branch_ops += 1
+
+    def record_lock_acquired(self, count=1):
+        """Cacheline locks taken by a CL-mode attempt."""
+        self.line_locks_acquired += count
+
+    def record_first_retry(self, immutable_and_small):
+        """Fig. 1 observation for one first retry."""
+        self.first_retry_observations += 1
+        if immutable_and_small:
+            self.first_retry_immutable_small += 1
+
+    def add_busy(self, core, cycles, failed_discovery=False, lock_acquire=False):
+        """Attribute executing cycles to a core (with phase tags)."""
+        self.cores[core].busy_cycles += cycles
+        if failed_discovery:
+            self.cores[core].discovery_failed_cycles += cycles
+        if lock_acquire:
+            self.cores[core].lock_acquire_cycles += cycles
+
+    def add_wait(self, core, cycles):
+        """Attribute parked/blocked cycles to a core."""
+        self.cores[core].wait_cycles += cycles
+
+    # -- derived metrics --------------------------------------------------------
+
+    @property
+    def total_commits(self):
+        """All commits across modes."""
+        return sum(self.commits_by_mode.values())
+
+    @property
+    def total_aborts(self):
+        """All aborts across reasons."""
+        return sum(self.aborts_by_reason.values())
+
+    def aborts_per_commit(self):
+        """Fig. 9 metric."""
+        commits = self.total_commits
+        if commits == 0:
+            return 0.0
+        return self.total_aborts / commits
+
+    def commit_mode_shares(self):
+        """Fig. 12 metric: fraction of commits per execution mode."""
+        commits = self.total_commits
+        if commits == 0:
+            return {}
+        return {
+            mode: count / commits for mode, count in self.commits_by_mode.items()
+        }
+
+    def abort_category_shares(self):
+        """Fig. 11 metric: fraction of aborts per category."""
+        aborts = self.total_aborts
+        if aborts == 0:
+            return {}
+        return {
+            category: count / aborts
+            for category, count in self.aborts_by_category.items()
+        }
+
+    def retry_shares(self):
+        """Fig. 13 metric over commits that needed at least one retry.
+
+        Returns (first_retry_share, n_retry_share, fallback_share); all
+        zero when nothing ever retried.
+        """
+        non_fallback_retried = sum(
+            count for retries, count in self.commits_by_retries.items() if retries >= 1
+        )
+        fallback = sum(self.fallback_commit_retries.values())
+        denominator = non_fallback_retried + fallback
+        if denominator == 0:
+            return (0.0, 0.0, 0.0)
+        first = self.commits_by_retries.get(1, 0)
+        n_retry = non_fallback_retried - first
+        return (first / denominator, n_retry / denominator, fallback / denominator)
+
+    def discovery_time_fraction(self):
+        """Fig. 8 overlay: share of busy cycles spent in failed discovery."""
+        busy = sum(core.busy_cycles for core in self.cores)
+        if busy == 0:
+            return 0.0
+        failed = sum(core.discovery_failed_cycles for core in self.cores)
+        return failed / busy
+
+    def first_retry_immutable_ratio(self):
+        """Fig. 1 metric."""
+        if self.first_retry_observations == 0:
+            return 0.0
+        return self.first_retry_immutable_small / self.first_retry_observations
+
+    def summary(self):
+        """Human-readable one-line digest (used by examples)."""
+        return (
+            "cycles={} commits={} aborts={} aborts/commit={:.2f}".format(
+                self.makespan_cycles,
+                self.total_commits,
+                self.total_aborts,
+                self.aborts_per_commit(),
+            )
+        )

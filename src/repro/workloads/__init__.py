@@ -1,0 +1,28 @@
+"""All 19 evaluated benchmarks (paper §6).
+
+Data-structure benchmarks: arrayswap, bitcoin, bst, deque, hashmap,
+mwobject, queue, stack, sorted-list. STAMP suite (synthetic kernels
+preserving AR structure, footprint and contention): bayes, genome,
+intruder, kmeans-h, kmeans-l, labyrinth, ssca2, vacation-h, vacation-l,
+yada.
+"""
+
+from repro.workloads.base import Workload, RegionSpec, Mutability
+from repro.workloads.registry import (
+    WORKLOAD_FACTORIES,
+    DATASTRUCTURE_NAMES,
+    STAMP_NAMES,
+    ALL_NAMES,
+    make_workload,
+)
+
+__all__ = [
+    "Workload",
+    "RegionSpec",
+    "Mutability",
+    "WORKLOAD_FACTORIES",
+    "DATASTRUCTURE_NAMES",
+    "STAMP_NAMES",
+    "ALL_NAMES",
+    "make_workload",
+]

@@ -1,0 +1,108 @@
+"""Workload abstraction.
+
+A workload owns the simulated data structures (laid out in
+:class:`repro.memory.shared.SharedMemory` at setup) and produces the
+per-thread action stream: alternating think time and atomic-region
+invocations. Each invocation names its *static region* (the ERT key)
+and carries a body factory that replays the AR against current memory
+on every attempt.
+"""
+
+import abc
+import enum
+
+from repro.sim.program import Invoke, Think
+
+
+class Mutability(enum.Enum):
+    """Paper §3 classification of a static AR's footprint stability."""
+
+    IMMUTABLE = "immutable"
+    LIKELY_IMMUTABLE = "likely_immutable"
+    MUTABLE = "mutable"
+
+
+class RegionSpec:
+    """Static description of one AR (a row contribution to Table 1)."""
+
+    __slots__ = ("name", "mutability", "description")
+
+    def __init__(self, name, mutability, description=""):
+        self.name = name
+        self.mutability = mutability
+        self.description = description
+
+    def __repr__(self):
+        return "RegionSpec({!r}, {})".format(self.name, self.mutability.value)
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmarks.
+
+    Subclasses define ``name``, implement :meth:`region_specs`,
+    :meth:`setup` and :meth:`make_invocation`, and inherit the standard
+    think/invoke action stream: each of the ``ops_per_thread``
+    operations is a Think followed by an Invoke.
+    """
+
+    name = "workload"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(40, 160)):
+        if ops_per_thread < 0:
+            raise ValueError("ops_per_thread must be non-negative")
+        self.ops_per_thread = ops_per_thread
+        self.think_cycles = think_cycles
+        self._ops_done = None
+        self._thinking = None
+        self.num_threads = 0
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    @abc.abstractmethod
+    def region_specs(self):
+        """Static ARs of this benchmark (list of RegionSpec)."""
+
+    @abc.abstractmethod
+    def setup(self, memory, allocator, num_threads, rng):
+        """Lay out the data structures. Must call super().setup(...)."""
+
+    @abc.abstractmethod
+    def make_invocation(self, thread_id, rng):
+        """Build the next AR invocation for a thread (an Invoke)."""
+
+    # -- standard behaviour ----------------------------------------------------
+
+    def base_setup(self, num_threads):
+        """Initialize the per-thread action bookkeeping."""
+        self.num_threads = num_threads
+        self._ops_done = [0] * num_threads
+        self._thinking = [True] * num_threads
+
+    def next_action(self, thread_id, rng):
+        """Standard stream: Think, Invoke, Think, Invoke, ..., None."""
+        if self._ops_done is None:
+            raise RuntimeError("setup() must run before next_action()")
+        if self._ops_done[thread_id] >= self.ops_per_thread:
+            return None
+        if self._thinking[thread_id]:
+            self._thinking[thread_id] = False
+            low, high = self.think_cycles
+            return Think(rng.randint(low, high))
+        self._thinking[thread_id] = True
+        self._ops_done[thread_id] += 1
+        return self.make_invocation(thread_id, rng)
+
+    def region_id(self, region_name):
+        """The ERT key for one of this workload's static regions."""
+        return (self.name, region_name)
+
+    def invoke(self, region_name, body_factory):
+        """Convenience Invoke builder."""
+        return Invoke(self.region_id(region_name), body_factory)
+
+    def spec_by_name(self, region_name):
+        """RegionSpec lookup (for tests and the characterizer)."""
+        for spec in self.region_specs():
+            if spec.name == region_name:
+                return spec
+        raise KeyError(region_name)

@@ -1,0 +1,23 @@
+"""Concurrent data-structure benchmarks (paper §6)."""
+
+from repro.workloads.datastructures.arrayswap import ArraySwapWorkload
+from repro.workloads.datastructures.bitcoin import BitcoinWorkload
+from repro.workloads.datastructures.bst import BstWorkload
+from repro.workloads.datastructures.deque import DequeWorkload
+from repro.workloads.datastructures.hashmap import HashmapWorkload
+from repro.workloads.datastructures.mwobject import MwObjectWorkload
+from repro.workloads.datastructures.queue import QueueWorkload
+from repro.workloads.datastructures.stack import StackWorkload
+from repro.workloads.datastructures.sorted_list import SortedListWorkload
+
+__all__ = [
+    "ArraySwapWorkload",
+    "BitcoinWorkload",
+    "BstWorkload",
+    "DequeWorkload",
+    "HashmapWorkload",
+    "MwObjectWorkload",
+    "QueueWorkload",
+    "StackWorkload",
+    "SortedListWorkload",
+]

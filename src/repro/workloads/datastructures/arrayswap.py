@@ -1,0 +1,56 @@
+"""arrayswap — Listing 1 of the paper.
+
+Two immutable ARs: addresses are computed *before* the atomic region
+(``register uint64_t* a = array[posa]`` in the paper's C), so the AR
+body touches a fixed set of cachelines on every retry. ``swap2``
+exchanges two slots; ``swap4`` exchanges two disjoint pairs.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.workloads.base import Mutability, RegionSpec, Workload
+from repro.workloads.patterns import direct_swap
+from repro.sim.program import Load, Store
+
+
+class ArraySwapWorkload(Workload):
+    """Immutable-footprint element swaps over a line-per-slot array."""
+    name = "arrayswap"
+
+    def __init__(self, num_elements=48, ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.num_elements = num_elements
+        self.array_base = None
+
+    def region_specs(self):
+        return [
+            RegionSpec("swap2", Mutability.IMMUTABLE, "swap two slots"),
+            RegionSpec("swap4", Mutability.IMMUTABLE, "swap two disjoint pairs"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        # One element per cacheline so distinct slots never false-share.
+        self.array_base = allocator.alloc_lines(self.num_elements)
+        for index in range(self.num_elements):
+            memory.poke(self._slot(index), index)
+
+    def _slot(self, index):
+        return self.array_base + index * WORDS_PER_LINE
+
+    def make_invocation(self, thread_id, rng):
+        if rng.random() < 0.5:
+            pos_a, pos_b = rng.sample(range(self.num_elements), 2)
+            return self.invoke("swap2", direct_swap(self._slot(pos_a), self._slot(pos_b)))
+        slots = [self._slot(index) for index in rng.sample(range(self.num_elements), 4)]
+
+        def body():
+            value_0 = yield Load(slots[0])
+            value_1 = yield Load(slots[1])
+            value_2 = yield Load(slots[2])
+            value_3 = yield Load(slots[3])
+            yield Store(slots[0], value_1)
+            yield Store(slots[1], value_0)
+            yield Store(slots[2], value_3)
+            yield Store(slots[3], value_2)
+
+        return self.invoke("swap4", body)

@@ -1,0 +1,59 @@
+"""bitcoin — Listing 2 of the paper.
+
+One likely-immutable AR: a transfer between two wallets reached through
+the stable ``users`` pointer table (an indirection inside the AR). The
+table is never rewritten, so retries see the same footprint, but the
+hardware cannot prove it — discovery classifies the region convertible
+and not immutable, steering retries to S-CL.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.workloads.base import Mutability, RegionSpec, Workload
+from repro.workloads.patterns import indirect_transfer
+
+
+class BitcoinWorkload(Workload):
+    """Wallet transfers through the stable users[] pointer table."""
+    name = "bitcoin"
+
+    def __init__(self, num_wallets=64, amount_range=(1, 20),
+                 ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.num_wallets = num_wallets
+        self.amount_range = amount_range
+        self.users_base = None
+        self.wallets_base = None
+
+    def region_specs(self):
+        return [
+            RegionSpec(
+                "transfer", Mutability.LIKELY_IMMUTABLE,
+                "move bitcoins between two wallets via users[] indirection",
+            ),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.users_base = allocator.alloc(self.num_wallets, align_line=True)
+        self.wallets_base = allocator.alloc_lines(self.num_wallets)
+        for index in range(self.num_wallets):
+            wallet_addr = self.wallets_base + index * WORDS_PER_LINE
+            memory.poke(self.users_base + index, wallet_addr)
+            memory.poke(wallet_addr, 10_000)  # initial balance
+
+    def make_invocation(self, thread_id, rng):
+        source, target = rng.sample(range(self.num_wallets), 2)
+        amount = rng.randint(*self.amount_range)
+        return self.invoke(
+            "transfer",
+            indirect_transfer(
+                self.users_base + source, self.users_base + target, amount
+            ),
+        )
+
+    def total_balance(self, memory):
+        """Invariant: transfers conserve the total (used by tests)."""
+        return sum(
+            memory.peek(self.wallets_base + index * WORDS_PER_LINE)
+            for index in range(self.num_wallets)
+        )

@@ -1,0 +1,219 @@
+"""bst — unbalanced binary search tree with eager deletion [20, 33].
+
+Three mutable ARs (insert / remove / contains): every operation chases
+child pointers loaded inside the AR and branches on loaded keys.
+Deletion is eager — one-child nodes are unlinked and two-child nodes
+take the classic successor-swap (the successor's key is copied up and
+the successor unlinked) — so the tree's shape and even node keys change
+constantly, making every footprint genuinely mutable.
+
+Node layout (one cacheline per node): [key, left, right].
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+KEY = 0
+LEFT = 1
+RIGHT = 2
+
+MAX_DEPTH = 64
+
+
+class BstWorkload(Workload):
+    """Unbalanced BST with eager (successor-swap) deletion."""
+    name = "bst"
+
+    def __init__(self, key_range=128, initial_keys=48,
+                 ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.key_range = key_range
+        self.initial_keys = initial_keys
+        self.root_addr = None
+        self._memory = None
+        self._node_pool = None
+        self._pool_next = None
+
+    def region_specs(self):
+        return [
+            RegionSpec("insert", Mutability.MUTABLE, "BST insert (pointer chase)"),
+            RegionSpec("remove", Mutability.MUTABLE, "BST eager delete"),
+            RegionSpec("contains", Mutability.MUTABLE, "BST lookup"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self._memory = memory
+        self.root_addr = allocator.alloc_lines(1)
+        memory.poke(self.root_addr, 0)
+        pool_size = max(1, self.ops_per_thread)
+        self._node_pool = []
+        self._pool_next = [0] * num_threads
+        for _ in range(num_threads):
+            base = allocator.alloc_lines(pool_size)
+            self._node_pool.append(
+                [base + index * WORDS_PER_LINE for index in range(pool_size)]
+            )
+        for key in rng.sample(range(self.key_range), min(self.initial_keys, self.key_range)):
+            self._seed_insert(memory, allocator, key)
+
+    def _seed_insert(self, memory, allocator, key):
+        node = allocator.alloc_lines(1)
+        memory.poke(node + KEY, key)
+        current = memory.peek(self.root_addr)
+        if current == 0:
+            memory.poke(self.root_addr, node)
+            return
+        while True:
+            current_key = memory.peek(current + KEY)
+            if key == current_key:
+                return
+            child_offset = LEFT if key < current_key else RIGHT
+            child = memory.peek(current + child_offset)
+            if child == 0:
+                memory.poke(current + child_offset, node)
+                return
+            current = child
+
+    def _fresh_node(self, thread_id, key):
+        pool = self._node_pool[thread_id]
+        index = self._pool_next[thread_id] % len(pool)
+        self._pool_next[thread_id] += 1
+        node = pool[index]
+        self._memory.poke(node + KEY, key)
+        self._memory.poke(node + LEFT, 0)
+        self._memory.poke(node + RIGHT, 0)
+        return node
+
+    # -- AR bodies -------------------------------------------------------------
+
+    def _insert_body(self, key, node):
+        root_addr = self.root_addr
+
+        def body():
+            current = yield Load(root_addr)
+            yield Branch(current)
+            if current == 0:
+                yield Store(root_addr, node)
+                return
+            depth = 0
+            while depth < MAX_DEPTH:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if key == current_key:
+                    return  # already present
+                child_offset = LEFT if key < current_key else RIGHT
+                child = yield Load(current + child_offset)
+                yield Branch(child)
+                if child == 0:
+                    yield Store(current + child_offset, node)
+                    return
+                current = child
+                depth += 1
+
+        return body
+
+    def _remove_body(self, key):
+        root_addr = self.root_addr
+
+        def body():
+            parent = 0
+            parent_offset = 0
+            current = yield Load(root_addr)
+            yield Branch(current)
+            depth = 0
+            while current != 0 and depth < MAX_DEPTH:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if key == current_key:
+                    left = yield Load(current + LEFT)
+                    right = yield Load(current + RIGHT)
+                    yield Branch(left)
+                    yield Branch(right)
+                    if left != 0 and right != 0:
+                        # Successor swap: pull up the min of the right
+                        # subtree, then unlink the successor node.
+                        succ_parent = current
+                        succ = right
+                        succ_depth = 0
+                        while succ_depth < MAX_DEPTH:
+                            succ_left = yield Load(succ + LEFT)
+                            yield Branch(succ_left)
+                            if succ_left == 0:
+                                break
+                            succ_parent = succ
+                            succ = succ_left
+                            succ_depth += 1
+                        succ_key = yield Load(succ + KEY)
+                        succ_right = yield Load(succ + RIGHT)
+                        yield Store(current + KEY, succ_key)
+                        if succ_parent == current:
+                            yield Store(succ_parent + RIGHT, int(succ_right))
+                        else:
+                            yield Store(succ_parent + LEFT, int(succ_right))
+                    else:
+                        replacement = left if left != 0 else right
+                        if parent == 0:
+                            yield Store(root_addr, int(replacement))
+                        else:
+                            yield Store(parent + parent_offset, int(replacement))
+                    return
+                parent = current
+                parent_offset = LEFT if key < current_key else RIGHT
+                current = yield Load(current + parent_offset)
+                yield Branch(current)
+                depth += 1
+
+        return body
+
+    def _contains_body(self, key, found_counter):
+        root_addr = self.root_addr
+
+        def body():
+            current = yield Load(root_addr)
+            yield Branch(current)
+            depth = 0
+            while current != 0 and depth < MAX_DEPTH:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if key == current_key:
+                    if found_counter is not None:
+                        count = yield Load(found_counter)
+                        yield Store(found_counter, count + 1)
+                    return
+                offset = LEFT if key < current_key else RIGHT
+                current = yield Load(current + offset)
+                yield Branch(current)
+                depth += 1
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        key = rng.randint(0, self.key_range - 1)
+        roll = rng.random()
+        if roll < 0.4:
+            node = self._fresh_node(thread_id, key)
+            return self.invoke("insert", self._insert_body(key, node))
+        if roll < 0.7:
+            return self.invoke("remove", self._remove_body(key))
+        return self.invoke("contains", self._contains_body(key, None))
+
+    # -- invariants (tests) -----------------------------------------------------
+
+    def inorder_keys(self, memory):
+        """Keys in order; asserts the search-tree property held."""
+        keys = []
+
+        def walk(node, low, high):
+            if node == 0:
+                return
+            key = memory.peek(node + KEY)
+            if not (low < key < high):
+                raise AssertionError("BST property violated at key {}".format(key))
+            walk(memory.peek(node + LEFT), low, key)
+            keys.append(key)
+            walk(memory.peek(node + RIGHT), key, high)
+
+        walk(memory.peek(self.root_addr), float("-inf"), float("inf"))
+        return keys

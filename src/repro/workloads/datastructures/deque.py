@@ -1,0 +1,102 @@
+"""deque — work deque with ticket-claimed bottom slots [7, 11, 24, 25].
+
+Two ARs per Table 1: ``push_bottom`` is likely immutable (the slot is
+claimed with a pre-AR ticket and reached through the stable deque
+descriptor — an indirection no concurrent AR rewrites), ``steal_top``
+is mutable (a branch on the loaded ``top``/``bottom`` pair decides
+whether — and which — slot is read).
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+
+class DequeWorkload(Workload):
+    """Work deque: ticket-claimed pushes, emptiness-branching steals."""
+    name = "deque"
+
+    def __init__(self, capacity=64, ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.capacity = capacity
+        self.bottom_addr = None
+        self.top_addr = None
+        self.buffer_ptr_addr = None
+        self.slots_base = None
+        self._next_ticket = 0
+
+    def region_specs(self):
+        return [
+            RegionSpec("push_bottom", Mutability.LIKELY_IMMUTABLE,
+                       "fill ticket-claimed slot via descriptor indirection"),
+            RegionSpec("steal_top", Mutability.MUTABLE,
+                       "steal with emptiness branch"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.bottom_addr = allocator.alloc_lines(1)
+        self.top_addr = allocator.alloc_lines(1)
+        self.buffer_ptr_addr = allocator.alloc_lines(1)
+        self.slots_base = allocator.alloc_lines(self.capacity)
+        # Each thief records its loot on a private line (workers consume
+        # stolen tasks locally in a work-stealing runtime).
+        self.result_base = allocator.alloc_lines(num_threads)
+        memory.poke(self.buffer_ptr_addr, self.slots_base)
+        prefill = self.capacity // 2
+        for index in range(prefill):
+            memory.poke(self.slots_base + index * WORDS_PER_LINE, 1000 + index)
+        memory.poke(self.bottom_addr, prefill)
+        memory.poke(self.top_addr, 0)
+        self._next_ticket = prefill
+
+    def _claim_ticket(self):
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+    def _push_body(self, ticket, value):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        bottom_addr = self.bottom_addr
+        offset = (ticket % self.capacity) * WORDS_PER_LINE
+
+        def body():
+            buffer_base = yield Load(buffer_ptr_addr)
+            yield Store(buffer_base + offset, value)
+            bottom = yield Load(bottom_addr)
+            yield Store(bottom_addr, bottom + 1)
+
+        return body
+
+    def _steal_body(self, thread_id):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        bottom_addr = self.bottom_addr
+        top_addr = self.top_addr
+        capacity = self.capacity
+        result_addr = self.result_base + thread_id * WORDS_PER_LINE
+
+        def body():
+            top = yield Load(top_addr)
+            bottom = yield Load(bottom_addr)
+            yield Branch(bottom - top)
+            if bottom - top <= 0:
+                return  # empty
+            buffer_base = yield Load(buffer_ptr_addr)
+            task = yield Load(buffer_base + (top % capacity) * WORDS_PER_LINE)
+            yield Store(top_addr, top + 1)
+            yield Store(result_addr, task)
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        # Work-stealing runtimes push more often than they steal.
+        if rng.random() < 0.6:
+            ticket = self._claim_ticket()
+            return self.invoke(
+                "push_bottom", self._push_body(ticket, rng.randint(1, 10_000))
+            )
+        return self.invoke("steal_top", self._steal_body(thread_id))
+
+    def size(self, memory):
+        """Logical occupancy (bottom - top); never negative (tests)."""
+        return memory.peek(self.bottom_addr) - memory.peek(self.top_addr)

@@ -1,0 +1,176 @@
+"""hashmap — chained hash table [8, 18].
+
+Three mutable ARs (put / get / remove): every operation walks a bucket
+chain through pointers loaded inside the AR, branching on loaded keys,
+so footprints track the chain contents.
+
+Bucket heads live one per cacheline; nodes are [key, value, next], one
+per cacheline.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+KEY = 0
+VALUE = 1
+NEXT = 2
+
+MAX_CHAIN = 48
+
+
+class HashmapWorkload(Workload):
+    """Chained hash table; every operation walks a bucket chain."""
+    name = "hashmap"
+
+    def __init__(self, num_buckets=16, key_range=96, initial_keys=48,
+                 ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.num_buckets = num_buckets
+        self.key_range = key_range
+        self.initial_keys = initial_keys
+        self.buckets_base = None
+        self._memory = None
+        self._node_pool = None
+        self._pool_next = None
+
+    def region_specs(self):
+        return [
+            RegionSpec("put", Mutability.MUTABLE, "insert/update walking the chain"),
+            RegionSpec("get", Mutability.MUTABLE, "lookup walking the chain"),
+            RegionSpec("remove", Mutability.MUTABLE, "unlink walking the chain"),
+        ]
+
+    def _bucket_addr(self, key):
+        return self.buckets_base + (key % self.num_buckets) * WORDS_PER_LINE
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self._memory = memory
+        self.buckets_base = allocator.alloc_lines(self.num_buckets)
+        for bucket in range(self.num_buckets):
+            memory.poke(self.buckets_base + bucket * WORDS_PER_LINE, 0)
+        pool_size = max(1, self.ops_per_thread)
+        self._node_pool = []
+        self._pool_next = [0] * num_threads
+        for _ in range(num_threads):
+            base = allocator.alloc_lines(pool_size)
+            self._node_pool.append(
+                [base + index * WORDS_PER_LINE for index in range(pool_size)]
+            )
+        for key in rng.sample(range(self.key_range), min(self.initial_keys, self.key_range)):
+            node = allocator.alloc_lines(1)
+            bucket = self._bucket_addr(key)
+            memory.poke(node + KEY, key)
+            memory.poke(node + VALUE, key * 10)
+            memory.poke(node + NEXT, memory.peek(bucket))
+            memory.poke(bucket, node)
+
+    def _fresh_node(self, thread_id, key, value):
+        pool = self._node_pool[thread_id]
+        index = self._pool_next[thread_id] % len(pool)
+        self._pool_next[thread_id] += 1
+        node = pool[index]
+        self._memory.poke(node + KEY, key)
+        self._memory.poke(node + VALUE, value)
+        self._memory.poke(node + NEXT, 0)
+        return node
+
+    # -- AR bodies --------------------------------------------------------------
+
+    def _put_body(self, key, value, node):
+        bucket = self._bucket_addr(key)
+
+        def body():
+            current = yield Load(bucket)
+            yield Branch(current)
+            steps = 0
+            while current != 0 and steps < MAX_CHAIN:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if current_key == key:
+                    yield Store(current + VALUE, value)
+                    return
+                current = yield Load(current + NEXT)
+                yield Branch(current)
+                steps += 1
+            head = yield Load(bucket)
+            yield Store(node + NEXT, head)
+            yield Store(bucket, node)
+
+        return body
+
+    def _get_body(self, key, sink_addr):
+        bucket = self._bucket_addr(key)
+
+        def body():
+            current = yield Load(bucket)
+            yield Branch(current)
+            steps = 0
+            while current != 0 and steps < MAX_CHAIN:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if current_key == key:
+                    value = yield Load(current + VALUE)
+                    if sink_addr is not None:
+                        old = yield Load(sink_addr)
+                        yield Store(sink_addr, old + value)
+                    return
+                current = yield Load(current + NEXT)
+                yield Branch(current)
+                steps += 1
+
+        return body
+
+    def _remove_body(self, key):
+        bucket = self._bucket_addr(key)
+
+        def body():
+            previous = 0
+            current = yield Load(bucket)
+            yield Branch(current)
+            steps = 0
+            while current != 0 and steps < MAX_CHAIN:
+                current_key = yield Load(current + KEY)
+                yield Branch(current_key)
+                if current_key == key:
+                    successor = yield Load(current + NEXT)
+                    if previous == 0:
+                        yield Store(bucket, successor)
+                    else:
+                        yield Store(previous + NEXT, successor)
+                    return
+                previous = current
+                current = yield Load(current + NEXT)
+                yield Branch(current)
+                steps += 1
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        key = rng.randint(0, self.key_range - 1)
+        roll = rng.random()
+        if roll < 0.4:
+            node = self._fresh_node(thread_id, key, key * 10)
+            return self.invoke("put", self._put_body(key, key * 10, node))
+        if roll < 0.7:
+            return self.invoke("get", self._get_body(key, None))
+        return self.invoke("remove", self._remove_body(key))
+
+    # -- invariants (tests) --------------------------------------------------------
+
+    def chain_keys(self, memory, bucket_index):
+        """Keys in one chain; asserts no cycles and correct bucket residency."""
+        keys = []
+        seen = set()
+        node = memory.peek(self.buckets_base + bucket_index * WORDS_PER_LINE)
+        while node != 0:
+            if node in seen:
+                raise AssertionError("cycle in bucket {}".format(bucket_index))
+            seen.add(node)
+            key = memory.peek(node + KEY)
+            if key % self.num_buckets != bucket_index:
+                raise AssertionError("key {} in wrong bucket".format(key))
+            keys.append(key)
+            node = memory.peek(node + NEXT)
+        return keys

@@ -1,0 +1,41 @@
+"""mwobject — multi-word object update [12, 13].
+
+One immutable AR performing 4 additions to 4 different words that fall
+into the same cacheline. Maximal contention (every thread hammers the
+same line), minimal footprint — the poster child for NS-CL.
+"""
+
+from repro.workloads.base import Mutability, RegionSpec, Workload
+from repro.workloads.patterns import direct_multi_rmw
+
+
+class MwObjectWorkload(Workload):
+    """Four counters in one cacheline, updated atomically together."""
+    name = "mwobject"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.object_base = None
+
+    def region_specs(self):
+        return [
+            RegionSpec(
+                "mw_update", Mutability.IMMUTABLE,
+                "4 additions to 4 words of one cacheline",
+            ),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.object_base = allocator.alloc_lines(1)
+        for offset in range(4):
+            memory.poke(self.object_base + offset, 0)
+
+    def make_invocation(self, thread_id, rng):
+        addrs = [self.object_base + offset for offset in range(4)]
+        return self.invoke("mw_update", direct_multi_rmw(addrs, delta=1))
+
+    def field_values(self, memory):
+        """The four counters (used by invariants: all equal under fairness-free
+        schedules is NOT guaranteed, but their sum equals total commits)."""
+        return [memory.peek(self.object_base + offset) for offset in range(4)]

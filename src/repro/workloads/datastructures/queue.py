@@ -1,0 +1,107 @@
+"""queue — bounded FIFO with ticket-claimed slots [20, 33].
+
+Two ARs per Table 1:
+
+- ``enqueue`` (likely immutable): the slot index is a *ticket* reserved
+  with an atomic fetch-and-add before the AR (as real slot-reserving
+  queues do), and the buffer is reached through a stable
+  queue-descriptor pointer loaded inside the AR — an indirection whose
+  value no concurrent AR modifies. The footprint (descriptor, claimed
+  slot, tail counter) is identical on every retry.
+- ``dequeue`` (mutable): branches on the loaded occupancy and reads the
+  slot selected by the loaded head index, both of which concurrent ARs
+  modify constantly.
+
+As in the classic array queue, producers and consumers contend on
+*different* counters (tail vs head); they only cross via the dequeue's
+occupancy check reading the tail counter.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+
+class QueueWorkload(Workload):
+    """Bounded FIFO: ticket-claimed enqueues, head-chasing dequeues."""
+    name = "queue"
+
+    def __init__(self, capacity=64, ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.capacity = capacity
+        self.tail_addr = None
+        self.head_addr = None
+        self.buffer_ptr_addr = None
+        self.slots_base = None
+        self._next_ticket = 0
+
+    def region_specs(self):
+        return [
+            RegionSpec("enqueue", Mutability.LIKELY_IMMUTABLE,
+                       "fill ticket-claimed slot via descriptor indirection"),
+            RegionSpec("dequeue", Mutability.MUTABLE,
+                       "remove at head with emptiness branch"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.tail_addr = allocator.alloc_lines(1)
+        self.head_addr = allocator.alloc_lines(1)
+        self.buffer_ptr_addr = allocator.alloc_lines(1)
+        self.slots_base = allocator.alloc_lines(self.capacity)
+        memory.poke(self.buffer_ptr_addr, self.slots_base)
+        prefill = self.capacity // 2
+        for index in range(prefill):
+            memory.poke(self.slots_base + index * WORDS_PER_LINE, 500 + index)
+        memory.poke(self.tail_addr, prefill)
+        memory.poke(self.head_addr, 0)
+        self._next_ticket = prefill
+
+    def _claim_ticket(self):
+        """Slot reservation via fetch-and-add, outside the AR."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+    def _enqueue_body(self, ticket, value):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        tail_addr = self.tail_addr
+        offset = (ticket % self.capacity) * WORDS_PER_LINE
+
+        def body():
+            buffer_base = yield Load(buffer_ptr_addr)
+            yield Store(buffer_base + offset, value)
+            tail = yield Load(tail_addr)
+            yield Store(tail_addr, tail + 1)
+
+        return body
+
+    def _dequeue_body(self):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        tail_addr = self.tail_addr
+        head_addr = self.head_addr
+        capacity = self.capacity
+
+        def body():
+            head = yield Load(head_addr)
+            tail = yield Load(tail_addr)
+            yield Branch(tail - head)
+            if tail - head <= 0:
+                return  # empty
+            buffer_base = yield Load(buffer_ptr_addr)
+            yield Load(buffer_base + (head % capacity) * WORDS_PER_LINE)
+            yield Store(head_addr, head + 1)
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        if rng.random() < 0.5:
+            ticket = self._claim_ticket()
+            return self.invoke(
+                "enqueue", self._enqueue_body(ticket, rng.randint(1, 10_000))
+            )
+        return self.invoke("dequeue", self._dequeue_body())
+
+    def size(self, memory):
+        """Logical occupancy (tail - head); never negative (tests)."""
+        return memory.peek(self.tail_addr) - memory.peek(self.head_addr)

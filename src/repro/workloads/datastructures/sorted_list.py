@@ -1,0 +1,136 @@
+"""sorted-list — ordered singly linked list [20]; Listing 3 source.
+
+Three ARs per Table 1 (1 immutable, 2 mutable):
+
+- ``count_matches`` (mutable) is literally Listing 3: walk the list
+  counting nodes whose data equals a value.
+- ``insert`` (mutable): sorted insertion, pointer chase.
+- ``bump_stats`` (immutable): increment a fixed statistics counter.
+
+Node layout (one cacheline per node): [data, next].
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+from repro.workloads.patterns import counter_increment, list_traverse_count
+
+DATA = 0
+NEXT = 1
+
+MAX_STEPS = 96
+
+
+class SortedListWorkload(Workload):
+    """Ordered linked list; source of the paper's Listing 3."""
+    name = "sorted-list"
+
+    def __init__(self, value_range=64, initial_length=24,
+                 ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.value_range = value_range
+        self.initial_length = initial_length
+        self.head_addr = None
+        self.stats_addr = None
+        self._memory = None
+        self._node_pool = None
+        self._pool_next = None
+
+    def region_specs(self):
+        return [
+            RegionSpec("bump_stats", Mutability.IMMUTABLE, "fixed counter update"),
+            RegionSpec("insert", Mutability.MUTABLE, "sorted insertion"),
+            RegionSpec("count_matches", Mutability.MUTABLE, "Listing 3 traversal"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self._memory = memory
+        self.head_addr = allocator.alloc_lines(1)
+        self.stats_addr = allocator.alloc_lines(1)
+        memory.poke(self.head_addr, 0)
+        pool_size = max(1, self.ops_per_thread)
+        self._node_pool = []
+        self._pool_next = [0] * num_threads
+        for _ in range(num_threads):
+            base = allocator.alloc_lines(pool_size)
+            self._node_pool.append(
+                [base + index * WORDS_PER_LINE for index in range(pool_size)]
+            )
+        values = sorted(rng.randint(0, self.value_range - 1)
+                        for _ in range(self.initial_length))
+        previous = 0
+        for value in reversed(values):
+            node = allocator.alloc_lines(1)
+            memory.poke(node + DATA, value)
+            memory.poke(node + NEXT, previous)
+            previous = node
+        memory.poke(self.head_addr, previous)
+
+    def _fresh_node(self, thread_id, value):
+        pool = self._node_pool[thread_id]
+        index = self._pool_next[thread_id] % len(pool)
+        self._pool_next[thread_id] += 1
+        node = pool[index]
+        self._memory.poke(node + DATA, value)
+        self._memory.poke(node + NEXT, 0)
+        return node
+
+    def _insert_body(self, value, node):
+        head_addr = self.head_addr
+
+        def body():
+            previous = 0
+            current = yield Load(head_addr)
+            yield Branch(current)
+            steps = 0
+            while current != 0 and steps < MAX_STEPS:
+                data = yield Load(current + DATA)
+                yield Branch(data)
+                if data >= value:
+                    break
+                previous = current
+                current = yield Load(current + NEXT)
+                yield Branch(current)
+                steps += 1
+            yield Store(node + NEXT, int(current))
+            if previous == 0:
+                yield Store(head_addr, node)
+            else:
+                yield Store(previous + NEXT, node)
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        roll = rng.random()
+        if roll < 0.25:
+            return self.invoke("bump_stats", counter_increment(self.stats_addr))
+        if roll < 0.6:
+            value = rng.randint(0, self.value_range - 1)
+            node = self._fresh_node(thread_id, value)
+            return self.invoke("insert", self._insert_body(value, node))
+        value = rng.randint(0, self.value_range - 1)
+        return self.invoke(
+            "count_matches",
+            list_traverse_count(
+                self.head_addr, value, max_steps=MAX_STEPS,
+                next_offset=NEXT, data_offset=DATA, count_addr=self.stats_addr,
+            ),
+        )
+
+    def values_in_order(self, memory, max_nodes=100_000):
+        """All values; asserts sortedness and acyclicity (tests)."""
+        values = []
+        seen = set()
+        node = memory.peek(self.head_addr)
+        while node != 0:
+            if node in seen:
+                raise AssertionError("cycle in sorted list")
+            seen.add(node)
+            values.append(memory.peek(node + DATA))
+            node = memory.peek(node + NEXT)
+            if len(values) > max_nodes:
+                raise AssertionError("list longer than plausible")
+        if values != sorted(values):
+            raise AssertionError("sorted list out of order: {}".format(values))
+        return values

@@ -1,0 +1,91 @@
+"""stack — array stack with ticket-claimed slots [20].
+
+``push`` is likely immutable: the slot is claimed with a pre-AR ticket
+and reached through the stable stack-descriptor pointer (an indirection
+whose value no concurrent AR modifies), so retries touch the same
+cachelines. ``pop`` is mutable: it branches on the loaded depth and
+reads the slot that depth selects.
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+
+class StackWorkload(Workload):
+    """Array stack: ticket-claimed pushes, top-chasing pops."""
+    name = "stack"
+
+    def __init__(self, capacity=96, ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        self.capacity = capacity
+        self.top_addr = None
+        self.buffer_ptr_addr = None
+        self.slots_base = None
+        self._next_ticket = 0
+
+    def region_specs(self):
+        return [
+            RegionSpec("push", Mutability.LIKELY_IMMUTABLE,
+                       "fill ticket-claimed slot via descriptor indirection"),
+            RegionSpec("pop", Mutability.MUTABLE,
+                       "remove at top with emptiness branch"),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.top_addr = allocator.alloc_lines(1)
+        self.buffer_ptr_addr = allocator.alloc_lines(1)
+        self.slots_base = allocator.alloc_lines(self.capacity)
+        memory.poke(self.buffer_ptr_addr, self.slots_base)
+        prefill = self.capacity // 2
+        for index in range(prefill):
+            memory.poke(self.slots_base + index * WORDS_PER_LINE, 700 + index)
+        memory.poke(self.top_addr, prefill)
+        self._next_ticket = prefill
+
+    def _claim_ticket(self):
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+    def _push_body(self, ticket, value):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        top_addr = self.top_addr
+        offset = (ticket % self.capacity) * WORDS_PER_LINE
+
+        def body():
+            buffer_base = yield Load(buffer_ptr_addr)
+            yield Store(buffer_base + offset, value)
+            top = yield Load(top_addr)
+            yield Store(top_addr, top + 1)
+
+        return body
+
+    def _pop_body(self):
+        buffer_ptr_addr = self.buffer_ptr_addr
+        top_addr = self.top_addr
+        capacity = self.capacity
+
+        def body():
+            top = yield Load(top_addr)
+            yield Branch(top)
+            if top <= 0:
+                return  # empty
+            buffer_base = yield Load(buffer_ptr_addr)
+            yield Load(buffer_base + ((top - 1) % capacity) * WORDS_PER_LINE)
+            yield Store(top_addr, top - 1)
+
+        return body
+
+    def make_invocation(self, thread_id, rng):
+        if rng.random() < 0.5:
+            ticket = self._claim_ticket()
+            return self.invoke(
+                "push", self._push_body(ticket, rng.randint(1, 10_000))
+            )
+        return self.invoke("pop", self._pop_body())
+
+    def depth(self, memory):
+        """Current stack depth; never negative (tests)."""
+        return memory.peek(self.top_addr)

@@ -1,0 +1,74 @@
+"""Benchmark registry: paper name → workload factory.
+
+Names match the paper's figures exactly (including the ``kmeans-h`` /
+``kmeans-l`` and ``vacation-h`` / ``vacation-l`` input variants).
+"""
+
+from repro.workloads.datastructures import (
+    ArraySwapWorkload,
+    BitcoinWorkload,
+    BstWorkload,
+    DequeWorkload,
+    HashmapWorkload,
+    MwObjectWorkload,
+    QueueWorkload,
+    StackWorkload,
+    SortedListWorkload,
+)
+from repro.workloads.stamp import (
+    BayesWorkload,
+    GenomeWorkload,
+    IntruderWorkload,
+    KmeansHighWorkload,
+    KmeansLowWorkload,
+    LabyrinthWorkload,
+    Ssca2Workload,
+    VacationHighWorkload,
+    VacationLowWorkload,
+    YadaWorkload,
+)
+
+WORKLOAD_FACTORIES = {
+    "arrayswap": ArraySwapWorkload,
+    "bitcoin": BitcoinWorkload,
+    "bst": BstWorkload,
+    "deque": DequeWorkload,
+    "hashmap": HashmapWorkload,
+    "mwobject": MwObjectWorkload,
+    "queue": QueueWorkload,
+    "stack": StackWorkload,
+    "sorted-list": SortedListWorkload,
+    "bayes": BayesWorkload,
+    "genome": GenomeWorkload,
+    "intruder": IntruderWorkload,
+    "kmeans-h": KmeansHighWorkload,
+    "kmeans-l": KmeansLowWorkload,
+    "labyrinth": LabyrinthWorkload,
+    "ssca2": Ssca2Workload,
+    "vacation-h": VacationHighWorkload,
+    "vacation-l": VacationLowWorkload,
+    "yada": YadaWorkload,
+}
+
+DATASTRUCTURE_NAMES = (
+    "arrayswap", "bitcoin", "bst", "deque", "hashmap",
+    "mwobject", "queue", "stack", "sorted-list",
+)
+
+STAMP_NAMES = (
+    "bayes", "genome", "intruder", "kmeans-h", "kmeans-l",
+    "labyrinth", "ssca2", "vacation-h", "vacation-l", "yada",
+)
+
+ALL_NAMES = DATASTRUCTURE_NAMES + STAMP_NAMES
+
+
+def make_workload(name, **kwargs):
+    """Instantiate a benchmark by its paper name."""
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown benchmark {!r}; choose from {}".format(name, sorted(WORKLOAD_FACTORIES))
+        )
+    return factory(**kwargs)

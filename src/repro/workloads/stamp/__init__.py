@@ -1,0 +1,30 @@
+"""STAMP benchmark suite (synthetic kernels; paper §6 uses medium inputs).
+
+Each application is a :class:`repro.workloads.stamp.synthetic.SyntheticStampWorkload`
+configured to preserve the application's AR structure from Table 1
+(count and mutability class of every static AR), its footprint scale,
+and its contention level — the three properties the paper's evaluation
+trends depend on.
+"""
+
+from repro.workloads.stamp.bayes import BayesWorkload
+from repro.workloads.stamp.genome import GenomeWorkload
+from repro.workloads.stamp.intruder import IntruderWorkload
+from repro.workloads.stamp.kmeans import KmeansHighWorkload, KmeansLowWorkload
+from repro.workloads.stamp.labyrinth import LabyrinthWorkload
+from repro.workloads.stamp.ssca2 import Ssca2Workload
+from repro.workloads.stamp.vacation import VacationHighWorkload, VacationLowWorkload
+from repro.workloads.stamp.yada import YadaWorkload
+
+__all__ = [
+    "BayesWorkload",
+    "GenomeWorkload",
+    "IntruderWorkload",
+    "KmeansHighWorkload",
+    "KmeansLowWorkload",
+    "LabyrinthWorkload",
+    "Ssca2Workload",
+    "VacationHighWorkload",
+    "VacationLowWorkload",
+    "YadaWorkload",
+]

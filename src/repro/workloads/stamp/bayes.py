@@ -1,0 +1,47 @@
+"""bayes — Bayesian network structure learning.
+
+Table 1: 14 static ARs — 5 likely immutable (score/adjacency updates
+through stable index tables), 9 mutable (task-list and dependency-graph
+manipulations). Footprints are mixed; contention is moderate.
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class BayesWorkload(SyntheticStampWorkload):
+    """Synthetic bayes kernel: 14 ARs (5 likely immutable, 9 mutable)."""
+    name = "bayes"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(60, 200)):
+        regions = [
+            StampRegionSpec("score_update_{}".format(i), "indirect")
+            for i in range(3)
+        ]
+        regions += [
+            StampRegionSpec("adjacency_xfer_{}".format(i), "indirect_transfer")
+            for i in range(2)
+        ]
+        regions += [
+            StampRegionSpec("task_scan_{}".format(i), "traverse")
+            for i in range(4)
+        ]
+        regions += [
+            StampRegionSpec("task_insert_{}".format(i), "list_insert")
+            for i in range(3)
+        ]
+        regions += [
+            StampRegionSpec("subnet_update_{}".format(i), "dynamic_scatter",
+                            params={"count": 10})
+            for i in range(2)
+        ]
+        super().__init__(
+            regions,
+            hot_lines=24,
+            table_slots=48,
+            record_lines=96,
+            pool_lines=256,
+            list_count=4,
+            list_length=12,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

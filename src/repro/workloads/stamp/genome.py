@@ -1,0 +1,33 @@
+"""genome — gene sequencing by segment deduplication and matching.
+
+Table 1: 5 static ARs, all mutable — hash-set insertion and chain
+matching over structures that mutate constantly.
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class GenomeWorkload(SyntheticStampWorkload):
+    """Synthetic genome kernel: 5 mutable segment-matching ARs."""
+    name = "genome"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(60, 200)):
+        regions = [
+            StampRegionSpec("segment_dedup_0", "traverse"),
+            StampRegionSpec("segment_dedup_1", "traverse"),
+            StampRegionSpec("segment_insert_0", "list_insert"),
+            StampRegionSpec("segment_insert_1", "list_insert"),
+            StampRegionSpec("overlap_update", "dynamic_scatter",
+                            params={"count": 8}),
+        ]
+        super().__init__(
+            regions,
+            hot_lines=16,
+            table_slots=32,
+            record_lines=64,
+            pool_lines=192,
+            list_count=5,
+            list_length=14,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

@@ -1,0 +1,33 @@
+"""intruder — network packet reassembly and signature detection.
+
+Table 1: 3 static ARs — 2 likely immutable (fragment-queue slot updates
+through stable indices), 1 mutable (sorted insertion into the packet
+reassembly list).
+Contention is high: intruder is the paper's highest-abort benchmark and
+the one that benefits most from CLEAR (Fig. 8/9).
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class IntruderWorkload(SyntheticStampWorkload):
+    """Synthetic intruder kernel: high contention, CLEAR's best case."""
+    name = "intruder"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(20, 80)):
+        regions = [
+            StampRegionSpec("fragment_pop", "indirect", weight=1.5),
+            StampRegionSpec("fragment_push", "indirect_transfer", weight=1.5),
+            StampRegionSpec("reassembly_insert", "list_insert"),
+        ]
+        super().__init__(
+            regions,
+            hot_lines=6,        # few hot lines -> heavy contention
+            table_slots=12,
+            record_lines=16,
+            pool_lines=64,
+            list_count=2,
+            list_length=18,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

@@ -1,0 +1,53 @@
+"""kmeans — partitional clustering (high/low contention variants).
+
+Table 1: 3 static ARs — 1 immutable (global delta counter), 2 likely
+immutable (centroid accumulators selected through the membership
+table). ``kmeans-h`` uses few clusters (every thread lands on the same
+accumulators), ``kmeans-l`` many.
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+def _kmeans_regions():
+    return [
+        StampRegionSpec("delta_counter", "counter"),
+        StampRegionSpec("centroid_accumulate", "indirect", weight=2.0),
+        StampRegionSpec("membership_update", "indirect", weight=2.0),
+    ]
+
+
+class KmeansHighWorkload(SyntheticStampWorkload):
+    """kmeans with few clusters: high accumulator contention."""
+    name = "kmeans-h"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(20, 80)):
+        super().__init__(
+            _kmeans_regions(),
+            hot_lines=4,
+            table_slots=16,
+            record_lines=8,   # few clusters: high contention
+            pool_lines=32,
+            list_count=1,
+            list_length=4,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )
+
+
+class KmeansLowWorkload(SyntheticStampWorkload):
+    """kmeans with many clusters: low accumulator contention."""
+    name = "kmeans-l"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(60, 200)):
+        super().__init__(
+            _kmeans_regions(),
+            hot_lines=16,
+            table_slots=64,
+            record_lines=64,  # many clusters: low contention
+            pool_lines=64,
+            list_count=1,
+            list_length=4,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

@@ -1,0 +1,36 @@
+"""labyrinth — Lee-routing path claiming on a shared grid.
+
+Table 1: 3 static ARs, all mutable, with *large* footprints: each region
+claims a multi-cell path whose cells depend on the evolving grid state.
+The footprints routinely exceed the 32-entry ALT, so CLEAR cannot
+convert them and the application leans on fallback — reproducing the
+serialization effect the paper reports for labyrinth (§7).
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class LabyrinthWorkload(SyntheticStampWorkload):
+    """Synthetic labyrinth kernel: huge mutable path-claim footprints."""
+    name = "labyrinth"
+
+    def __init__(self, ops_per_thread=20, think_cycles=(100, 300)):
+        regions = [
+            StampRegionSpec("claim_path_short", "dynamic_scatter",
+                            params={"count": 24}),
+            StampRegionSpec("claim_path_medium", "dynamic_scatter",
+                            params={"count": 40}),
+            StampRegionSpec("claim_path_long", "dynamic_scatter",
+                            params={"count": 56}),
+        ]
+        super().__init__(
+            regions,
+            hot_lines=8,
+            table_slots=16,
+            record_lines=16,
+            pool_lines=512,
+            list_count=1,
+            list_length=4,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

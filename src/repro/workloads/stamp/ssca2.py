@@ -1,0 +1,32 @@
+"""ssca2 — scalable synthetic compact applications, kernel 1 (graph
+construction).
+
+Table 1: 3 static ARs — 2 immutable (tiny direct edge-array updates), 1
+likely immutable (adjacency update through the node index). Contention
+is low and ARs are tiny: ssca2 mostly commits on the first try.
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class Ssca2Workload(SyntheticStampWorkload):
+    """Synthetic ssca2 kernel: tiny ARs, low contention."""
+    name = "ssca2"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(100, 260)):
+        regions = [
+            StampRegionSpec("edge_count", "counter"),
+            StampRegionSpec("edge_insert", "direct_multi", params={"count": 2}),
+            StampRegionSpec("adjacency_update", "indirect"),
+        ]
+        super().__init__(
+            regions,
+            hot_lines=64,      # many hot lines -> low contention
+            table_slots=128,
+            record_lines=128,
+            pool_lines=64,
+            list_count=1,
+            list_length=4,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

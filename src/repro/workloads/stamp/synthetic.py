@@ -1,0 +1,249 @@
+"""Configurable synthetic STAMP kernel.
+
+The STAMP sources cannot run inside a Python memory-trace simulator, so
+each application is substituted by a kernel preserving what drives the
+paper's evaluation (DESIGN.md §1): the number of static ARs, each AR's
+mutability class (Table 1), the footprint scale (small direct updates
+versus >32-line scatters), and the contention level (how many hot lines
+all threads fight over).
+
+A :class:`StampRegionSpec` names one static AR and the body *kind* that
+realizes its class:
+
+=================== ==================== =============================
+kind                 mutability           body pattern
+=================== ==================== =============================
+``counter``          immutable            fixed-address RMW
+``direct_multi``     immutable            k fixed-address RMWs
+``indirect``         likely immutable     RMW via stable index table
+``indirect_transfer`` likely immutable    transfer via pointer table
+``traverse``         mutable              linked-list walk (Listing 3)
+``list_insert``      mutable              sorted list insertion
+``dynamic_scatter``  mutable              cursor-driven window of k lines
+=================== ==================== =============================
+"""
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+from repro.workloads.patterns import (
+    counter_increment,
+    direct_multi_rmw,
+    dynamic_scatter,
+    indirect_rmw,
+    indirect_transfer,
+    list_traverse_count,
+)
+
+_KIND_MUTABILITY = {
+    "counter": Mutability.IMMUTABLE,
+    "direct_multi": Mutability.IMMUTABLE,
+    "indirect": Mutability.LIKELY_IMMUTABLE,
+    "indirect_transfer": Mutability.LIKELY_IMMUTABLE,
+    "traverse": Mutability.MUTABLE,
+    "list_insert": Mutability.MUTABLE,
+    "dynamic_scatter": Mutability.MUTABLE,
+}
+
+LIST_DATA = 0
+LIST_NEXT = 1
+MAX_LIST_STEPS = 80
+
+
+class StampRegionSpec:
+    """One static AR of a synthetic STAMP application."""
+
+    __slots__ = ("name", "kind", "params", "weight")
+
+    def __init__(self, name, kind, params=None, weight=1.0):
+        if kind not in _KIND_MUTABILITY:
+            raise ValueError("unknown region kind {!r}".format(kind))
+        self.name = name
+        self.kind = kind
+        self.params = dict(params or {})
+        self.weight = weight
+
+    @property
+    def mutability(self):
+        return _KIND_MUTABILITY[self.kind]
+
+
+class SyntheticStampWorkload(Workload):
+    """A STAMP application expressed as weighted synthetic regions."""
+
+    name = "stamp"
+
+    def __init__(self, regions, hot_lines=16, table_slots=32, record_lines=64,
+                 pool_lines=256, list_count=4, list_length=16, value_range=64,
+                 ops_per_thread=30, think_cycles=(40, 160)):
+        super().__init__(ops_per_thread, think_cycles)
+        if not regions:
+            raise ValueError("a STAMP kernel needs at least one region")
+        self.regions = list(regions)
+        self.hot_lines = hot_lines
+        self.table_slots = table_slots
+        self.record_lines = record_lines
+        self.pool_lines = pool_lines
+        self.list_count = list_count
+        self.list_length = list_length
+        self.value_range = value_range
+        self._memory = None
+        self.hot_base = None
+        self.index_table_base = None
+        self.ptr_table_base = None
+        self.records_base = None
+        self.pool_base = None
+        self.cursor_addrs = []
+        self.list_heads = []
+        self._node_pool = None
+        self._pool_next = None
+
+    def region_specs(self):
+        return [
+            RegionSpec(region.name, region.mutability, region.kind)
+            for region in self.regions
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self._memory = memory
+        self.hot_base = allocator.alloc_lines(self.hot_lines)
+        self.index_table_base = allocator.alloc(self.table_slots, align_line=True)
+        self.ptr_table_base = allocator.alloc(self.table_slots, align_line=True)
+        self.records_base = allocator.alloc_lines(self.record_lines)
+        self.pool_base = allocator.alloc_lines(self.pool_lines)
+        for slot in range(self.table_slots):
+            record = rng.randint(0, self.record_lines - 1)
+            memory.poke(self.index_table_base + slot, record)
+            memory.poke(
+                self.ptr_table_base + slot,
+                self.records_base + record * WORDS_PER_LINE,
+            )
+        for record in range(self.record_lines):
+            memory.poke(self.records_base + record * WORDS_PER_LINE, 1_000)
+        # One cursor per dynamic_scatter region so their windows advance
+        # independently.
+        self.cursor_addrs = []
+        for region in self.regions:
+            if region.kind == "dynamic_scatter":
+                cursor = allocator.alloc_lines(1)
+                memory.poke(cursor, rng.randint(0, self.pool_lines - 1))
+                self.cursor_addrs.append((region.name, cursor))
+        self.list_heads = []
+        for _ in range(self.list_count):
+            head = allocator.alloc_lines(1)
+            previous = 0
+            for value in sorted(
+                (rng.randint(0, self.value_range - 1) for _ in range(self.list_length)),
+                reverse=True,
+            ):
+                node = allocator.alloc_lines(1)
+                memory.poke(node + LIST_DATA, value)
+                memory.poke(node + LIST_NEXT, previous)
+                previous = node
+            memory.poke(head, previous)
+            self.list_heads.append(head)
+        pool_size = max(1, self.ops_per_thread)
+        self._node_pool = []
+        self._pool_next = [0] * num_threads
+        for _ in range(num_threads):
+            base = allocator.alloc_lines(pool_size)
+            self._node_pool.append(
+                [base + index * WORDS_PER_LINE for index in range(pool_size)]
+            )
+
+    # -- body builders ---------------------------------------------------------
+
+    def _hot_addr(self, index):
+        return self.hot_base + (index % self.hot_lines) * WORDS_PER_LINE
+
+    def _cursor_for(self, region_name):
+        for name, cursor in self.cursor_addrs:
+            if name == region_name:
+                return cursor
+        raise KeyError(region_name)
+
+    def _fresh_node(self, thread_id, value):
+        pool = self._node_pool[thread_id]
+        index = self._pool_next[thread_id] % len(pool)
+        self._pool_next[thread_id] += 1
+        node = pool[index]
+        self._memory.poke(node + LIST_DATA, value)
+        self._memory.poke(node + LIST_NEXT, 0)
+        return node
+
+    def _list_insert_body(self, head_addr, value, node):
+        def body():
+            previous = 0
+            current = yield Load(head_addr)
+            yield Branch(current)
+            steps = 0
+            while current != 0 and steps < MAX_LIST_STEPS:
+                data = yield Load(current + LIST_DATA)
+                yield Branch(data)
+                if data >= value:
+                    break
+                previous = current
+                current = yield Load(current + LIST_NEXT)
+                yield Branch(current)
+                steps += 1
+            yield Store(node + LIST_NEXT, int(current))
+            if previous == 0:
+                yield Store(head_addr, node)
+            else:
+                yield Store(previous + LIST_NEXT, node)
+
+        return body
+
+    def _build_body(self, region, thread_id, rng):
+        params = region.params
+        if region.kind == "counter":
+            return counter_increment(self._hot_addr(rng.randint(0, self.hot_lines - 1)))
+        if region.kind == "direct_multi":
+            count = params.get("count", 2)
+            indices = rng.sample(range(self.hot_lines), min(count, self.hot_lines))
+            return direct_multi_rmw([self._hot_addr(i) for i in indices])
+        if region.kind == "indirect":
+            slot = rng.randint(0, self.table_slots - 1)
+            return indirect_rmw(
+                self.index_table_base + slot, self.records_base,
+                stride=WORDS_PER_LINE,
+            )
+        if region.kind == "indirect_transfer":
+            source, target = rng.sample(range(self.table_slots), 2)
+            return indirect_transfer(
+                self.ptr_table_base + source, self.ptr_table_base + target,
+                rng.randint(1, 9),
+            )
+        if region.kind == "traverse":
+            head = rng.choice(self.list_heads)
+            return list_traverse_count(
+                head, rng.randint(0, self.value_range - 1),
+                max_steps=MAX_LIST_STEPS, next_offset=LIST_NEXT,
+                data_offset=LIST_DATA,
+                count_addr=self._hot_addr(rng.randint(0, self.hot_lines - 1)),
+            )
+        if region.kind == "list_insert":
+            head = rng.choice(self.list_heads)
+            value = rng.randint(0, self.value_range - 1)
+            node = self._fresh_node(thread_id, value)
+            return self._list_insert_body(head, value, node)
+        if region.kind == "dynamic_scatter":
+            count = params.get("count", 8)
+            return dynamic_scatter(
+                self._cursor_for(region.name), self.pool_base,
+                self.pool_lines, count,
+            )
+        raise AssertionError("unhandled kind {!r}".format(region.kind))
+
+    def make_invocation(self, thread_id, rng):
+        total_weight = sum(region.weight for region in self.regions)
+        roll = rng.random() * total_weight
+        cumulative = 0.0
+        chosen = self.regions[-1]
+        for region in self.regions:
+            cumulative += region.weight
+            if roll < cumulative:
+                chosen = region
+                break
+        return self.invoke(chosen.name, self._build_body(chosen, thread_id, rng))

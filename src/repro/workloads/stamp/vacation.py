@@ -1,0 +1,52 @@
+"""vacation — travel reservation system (high/low contention variants).
+
+Table 1: 3 static ARs — 1 likely immutable (customer-record update via
+the customer table), 2 mutable (reservation-tree walks modeled as chain
+traversal/insertion). ``vacation-h`` queries a smaller record set.
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+def _vacation_regions():
+    return [
+        StampRegionSpec("customer_update", "indirect"),
+        StampRegionSpec("reservation_lookup", "traverse"),
+        StampRegionSpec("reservation_insert", "list_insert"),
+    ]
+
+
+class VacationHighWorkload(SyntheticStampWorkload):
+    """vacation querying a small record set (higher contention)."""
+    name = "vacation-h"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(40, 140)):
+        super().__init__(
+            _vacation_regions(),
+            hot_lines=8,
+            table_slots=16,
+            record_lines=24,
+            pool_lines=64,
+            list_count=3,
+            list_length=16,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )
+
+
+class VacationLowWorkload(SyntheticStampWorkload):
+    """vacation querying a large record set (lower contention)."""
+    name = "vacation-l"
+
+    def __init__(self, ops_per_thread=30, think_cycles=(80, 240)):
+        super().__init__(
+            _vacation_regions(),
+            hot_lines=24,
+            table_slots=64,
+            record_lines=96,
+            pool_lines=64,
+            list_count=6,
+            list_length=16,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

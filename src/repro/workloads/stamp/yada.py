@@ -1,0 +1,38 @@
+"""yada — Delaunay mesh refinement.
+
+Table 1: 6 static ARs — 1 immutable (work counter), 5 mutable (cavity
+retriangulation touching many elements, task-queue manipulation). Most
+footprints are large; yada in the paper either commits first-try or
+lands in fallback, with discovery quickly disabled (§7).
+"""
+
+from repro.workloads.stamp.synthetic import StampRegionSpec, SyntheticStampWorkload
+
+
+class YadaWorkload(SyntheticStampWorkload):
+    """Synthetic yada kernel: large cavity footprints, fallback-heavy."""
+    name = "yada"
+
+    def __init__(self, ops_per_thread=20, think_cycles=(80, 240)):
+        regions = [
+            StampRegionSpec("work_counter", "counter"),
+            StampRegionSpec("cavity_expand", "dynamic_scatter",
+                            params={"count": 36}),
+            StampRegionSpec("cavity_retriangulate", "dynamic_scatter",
+                            params={"count": 48}),
+            StampRegionSpec("boundary_update", "dynamic_scatter",
+                            params={"count": 20}),
+            StampRegionSpec("task_scan", "traverse"),
+            StampRegionSpec("task_insert", "list_insert"),
+        ]
+        super().__init__(
+            regions,
+            hot_lines=12,
+            table_slots=16,
+            record_lines=16,
+            pool_lines=384,
+            list_count=3,
+            list_length=12,
+            ops_per_thread=ops_per_thread,
+            think_cycles=think_cycles,
+        )

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture
+def small_config():
+    """A 4-core configuration sized for fast tests."""
+    return SimConfig(num_cores=4, retry_threshold=4)
+
+
+@pytest.fixture
+def tiny_clear_config():
+    """A 4-core CLEAR configuration."""
+    return SimConfig(num_cores=4, retry_threshold=4, clear=True)
+
+
+def config_for(letter, cores=4, **overrides):
+    return SimConfig.for_letter(letter, num_cores=cores, **overrides)

@@ -1,0 +1,85 @@
+"""Integration tests for the Table 1 / Fig. 1 characterizer."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    characterization_table,
+    characterize_workload,
+)
+from repro.workloads import make_workload
+from repro.workloads.base import Mutability
+
+
+def factory(name):
+    return lambda: make_workload(name, ops_per_thread=10)
+
+
+class TestImmutableDetection:
+    def test_arrayswap_fully_immutable(self):
+        results = characterize_workload(factory("arrayswap"), samples_per_region=6,
+                                        perturbations=4)
+        assert all(
+            r.measured is Mutability.IMMUTABLE for r in results.values()
+        )
+
+    def test_mwobject_immutable(self):
+        results = characterize_workload(factory("mwobject"), samples_per_region=6,
+                                        perturbations=4)
+        assert results["mw_update"].measured is Mutability.IMMUTABLE
+
+
+class TestLikelyImmutableDetection:
+    def test_bitcoin_likely_immutable(self):
+        results = characterize_workload(factory("bitcoin"), samples_per_region=6,
+                                        perturbations=4)
+        assert results["transfer"].measured is Mutability.LIKELY_IMMUTABLE
+
+
+class TestMutableDetection:
+    def test_bst_regions_not_immutable(self):
+        results = characterize_workload(factory("bst"), samples_per_region=8,
+                                        perturbations=8)
+        for characterization in results.values():
+            assert characterization.measured is not Mutability.IMMUTABLE
+
+    def test_hashmap_mostly_mutable(self):
+        results = characterize_workload(factory("hashmap"), samples_per_region=8,
+                                        perturbations=8)
+        mutable = sum(
+            1 for r in results.values() if r.measured is Mutability.MUTABLE
+        )
+        assert mutable >= 2
+
+    def test_sorted_list_split(self):
+        results = characterize_workload(factory("sorted-list"), samples_per_region=8,
+                                        perturbations=8)
+        assert results["bump_stats"].measured is Mutability.IMMUTABLE
+        assert results["count_matches"].measured is Mutability.MUTABLE
+
+
+class TestTableGeneration:
+    def test_rows_cover_all_regions(self):
+        rows = characterization_table(
+            [factory("arrayswap"), factory("bitcoin")],
+            samples_per_region=4, perturbations=3,
+        )
+        assert [row["benchmark"] for row in rows] == ["arrayswap", "bitcoin"]
+        first = rows[0]
+        assert first["num_ars"] == 2
+        assert (
+            first["immutable"] + first["likely_immutable"] + first["mutable"]
+            == first["num_ars"]
+        )
+
+    def test_immutable_column_matches_declared_for_datastructures(self):
+        # The taint-based immutable column is deterministic and must
+        # match Table 1 exactly for these benchmarks.
+        names = ("arrayswap", "bitcoin", "mwobject", "bst", "hashmap")
+        expected_immutable = {"arrayswap": 2, "bitcoin": 0, "mwobject": 1,
+                              "bst": 0, "hashmap": 0}
+        rows = characterization_table(
+            [factory(name) for name in names],
+            samples_per_region=5, perturbations=4,
+        )
+        for row in rows:
+            assert row["immutable"] == expected_immutable[row["benchmark"]]

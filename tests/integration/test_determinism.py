@@ -1,0 +1,39 @@
+"""Determinism and seed-sensitivity of whole runs."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+
+def run(name, letter, seed, ops=6):
+    workload = make_workload(name, ops_per_thread=ops)
+    machine = Machine(SimConfig.for_letter(letter, num_cores=4), workload, seed)
+    stats = machine.run()
+    return machine, stats
+
+
+def fingerprint(machine, stats):
+    return (
+        stats.makespan_cycles,
+        stats.total_commits,
+        stats.total_aborts,
+        tuple(sorted((m.value, c) for m, c in stats.commits_by_mode.items())),
+        tuple(sorted((r.value, c) for r, c in stats.aborts_by_reason.items())),
+        tuple(sorted(machine.memory.snapshot().items())),
+    )
+
+
+@pytest.mark.parametrize("letter", ("B", "W"))
+@pytest.mark.parametrize("name", ("mwobject", "bst", "intruder"))
+class TestDeterminism:
+    def test_same_seed_identical_run(self, letter, name):
+        first = fingerprint(*run(name, letter, seed=11))
+        second = fingerprint(*run(name, letter, seed=11))
+        assert first == second
+
+    def test_different_seed_different_run(self, letter, name):
+        first = fingerprint(*run(name, letter, seed=11))
+        second = fingerprint(*run(name, letter, seed=12))
+        assert first != second

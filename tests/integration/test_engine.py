@@ -1,0 +1,59 @@
+"""Engine-level behaviours: truncation, waiting accounting, finish times."""
+
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.program import Think
+from repro.workloads import make_workload
+from tests.integration.test_machine_basic import ScriptedWorkload, counter_invoke
+
+
+class TestTruncation:
+    def test_max_cycles_truncates_run(self):
+        config = SimConfig.for_letter("B", num_cores=4, max_cycles=500)
+        workload = make_workload("labyrinth", ops_per_thread=10)
+        machine = Machine(config, workload, seed=1)
+        stats = machine.run()
+        assert stats.truncated
+        assert stats.makespan_cycles >= 500
+
+    def test_normal_run_not_truncated(self):
+        config = SimConfig.for_letter("B", num_cores=2)
+        workload = make_workload("mwobject", ops_per_thread=3)
+        machine = Machine(config, workload, seed=1)
+        stats = machine.run()
+        assert not stats.truncated
+
+
+class TestFinishTimes:
+    def test_makespan_covers_slowest_thread(self):
+        workload = ScriptedWorkload({0: [Think(10)], 1: [Think(5000)]})
+        machine = Machine(SimConfig.for_letter("B", num_cores=2), workload, seed=1)
+        stats = machine.run()
+        assert stats.makespan_cycles >= 5000
+
+    def test_empty_scripts_finish_immediately(self):
+        workload = ScriptedWorkload({})
+        machine = Machine(SimConfig.for_letter("B", num_cores=2), workload, seed=1)
+        stats = machine.run()
+        assert stats.total_commits == 0
+        assert not stats.truncated
+
+
+class TestWaitAccounting:
+    def test_contended_clear_run_accumulates_wait_cycles(self):
+        script = [counter_invoke() for _ in range(15)]
+        workload = ScriptedWorkload({0: list(script), 1: list(script)})
+        machine = Machine(SimConfig.for_letter("C", num_cores=2), workload, seed=1)
+        stats = machine.run()
+        waited = sum(core.wait_cycles for core in stats.cores)
+        assert waited >= 0  # accounting never goes negative
+        busy = sum(core.busy_cycles for core in stats.cores)
+        assert busy > 0
+
+    def test_lock_acquire_cycles_tracked_under_clear(self):
+        script = [counter_invoke() for _ in range(15)]
+        workload = ScriptedWorkload({0: list(script), 1: list(script)})
+        machine = Machine(SimConfig.for_letter("C", num_cores=2), workload, seed=1)
+        stats = machine.run()
+        locked = sum(core.lock_acquire_cycles for core in stats.cores)
+        assert locked > 0

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must run and conclude sensibly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "CLEAR is" in out
+        assert "NS-CL" in out
+
+    def test_compare_configs_custom_benchmarks(self):
+        out = run_example("compare_configs.py", "mwobject", "bitcoin")
+        assert "geomean" in out
+        assert "CLEAR improves the geomean" in out
+
+    def test_compare_configs_rejects_unknown(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "compare_configs.py"), "nope"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+
+    def test_inspect_discovery(self):
+        out = run_example("inspect_discovery.py")
+        assert "Explored Region Table" in out
+        assert "mwobject" in out and "labyrinth" in out
+
+    def test_custom_workload_conserves(self):
+        out = run_example("custom_workload.py")
+        assert "conserved" in out
+        assert "LOST MONEY" not in out
+
+    def test_characterize_regions(self):
+        out = run_example("characterize_regions.py", "bitcoin")
+        assert "likely_immutable" in out

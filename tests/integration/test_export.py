@@ -1,0 +1,62 @@
+"""Tests for the CSV figure exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_config_matrix
+from repro.analysis.export import export_all
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    settings = ExperimentSettings(
+        benchmarks=("mwobject", "bitcoin"), num_cores=2, ops_per_thread=4,
+        seeds=(1,),
+    )
+    return run_config_matrix(settings)
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportAll:
+    def test_writes_all_figures(self, matrix, tmp_path):
+        paths = export_all(matrix, str(tmp_path))
+        assert set(paths) == {
+            "fig01", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13"
+        }
+        for path in paths.values():
+            rows = read_csv(path)
+            assert len(rows) >= 2  # header + data
+
+    def test_fig8_has_config_columns(self, matrix, tmp_path):
+        paths = export_all(matrix, str(tmp_path))
+        rows = read_csv(paths["fig08"])
+        assert rows[0][:5] == ["benchmark", "B", "P", "C", "W"]
+        benchmarks = {row[0] for row in rows[1:]}
+        assert {"mwobject", "bitcoin", "geomean"} <= benchmarks
+        # Baseline column normalizes to 1.0.
+        for row in rows[1:]:
+            assert float(row[1]) == 1.0
+
+    def test_fig12_long_format_shares_valid(self, matrix, tmp_path):
+        paths = export_all(matrix, str(tmp_path))
+        rows = read_csv(paths["fig12"])
+        assert rows[0] == ["benchmark", "config", "mode", "share"]
+        for row in rows[1:]:
+            assert 0.0 <= float(row[3]) <= 1.0
+
+    def test_fig13_triples_sum_to_one_or_zero(self, matrix, tmp_path):
+        paths = export_all(matrix, str(tmp_path))
+        rows = read_csv(paths["fig13"])
+        for row in rows[1:]:
+            total = sum(float(cell) for cell in row[2:])
+            if row[0] == "average":
+                # The average mixes benchmarks that never retried
+                # (all-zero triples) with ones that did.
+                assert 0.0 <= total <= 1.0 + 1e-6
+            else:
+                assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0

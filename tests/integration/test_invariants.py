@@ -1,0 +1,73 @@
+"""Whole-system atomicity and liveness invariants.
+
+Every workload must complete (no deadlock, no livelock) in every
+configuration, with its data-structure invariants intact and all
+machine-wide resources released.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import ALL_NAMES, make_workload
+
+CONFIG_LETTERS = ("B", "P", "C", "W")
+
+
+def run(name, letter, seed=3, cores=4, ops=6):
+    workload = make_workload(name, ops_per_thread=ops)
+    machine = Machine(SimConfig.for_letter(letter, num_cores=cores), workload, seed)
+    stats = machine.run()
+    return machine, workload, stats
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("letter", CONFIG_LETTERS)
+class TestAllWorkloadsAllConfigs:
+    def test_completes_with_expected_commit_count(self, name, letter):
+        machine, workload, stats = run(name, letter)
+        assert not stats.truncated
+        assert stats.total_commits == 4 * 6  # cores x ops
+
+    def test_resources_released(self, name, letter):
+        machine, _, _ = run(name, letter)
+        assert machine.memsys.locks.locked_line_count() == 0
+        assert not machine.fallback.is_write_held()
+        assert machine.fallback.readers == frozenset()
+        assert machine.power.holder is None
+
+
+class TestDataStructureInvariants:
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_bitcoin_conserves_balance(self, letter):
+        machine, workload, _ = run("bitcoin", letter, ops=12)
+        assert workload.total_balance(machine.memory) == workload.num_wallets * 10_000
+
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_bst_property_holds(self, letter):
+        machine, workload, _ = run("bst", letter, ops=12)
+        workload.inorder_keys(machine.memory)
+
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_sorted_list_stays_sorted(self, letter):
+        machine, workload, _ = run("sorted-list", letter, ops=12)
+        workload.values_in_order(machine.memory)
+
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_hashmap_chains_consistent(self, letter):
+        machine, workload, _ = run("hashmap", letter, ops=12)
+        for bucket in range(workload.num_buckets):
+            workload.chain_keys(machine.memory, bucket)
+
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_ring_indices_never_cross(self, letter):
+        for name in ("queue", "deque"):
+            machine, workload, _ = run(name, letter, ops=12)
+            assert workload.size(machine.memory) >= 0
+
+    @pytest.mark.parametrize("letter", CONFIG_LETTERS)
+    def test_mwobject_counts_match_commits(self, letter):
+        machine, workload, stats = run("mwobject", letter, ops=12)
+        fields = workload.field_values(machine.memory)
+        # Every committed AR adds exactly 1 to each of the 4 fields.
+        assert fields == [stats.total_commits] * 4

@@ -1,0 +1,84 @@
+"""Tests for Machine's executor-facing services."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason
+from repro.htm.rwset import ReadWriteSets
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+
+def fresh_machine(letter="B", cores=3):
+    workload = make_workload("mwobject", ops_per_thread=2)
+    return Machine(SimConfig.for_letter(letter, num_cores=cores), workload, seed=1)
+
+
+def arm_speculative(executor, mode=ExecMode.SPECULATIVE, lines=(5,)):
+    executor.phase = "body"
+    executor.mode = mode
+    executor.rwsets = ReadWriteSets(l1_sets=None, l2_sets=None)
+    for line in lines:
+        executor.rwsets.record_read(line)
+
+
+class TestPeerViews:
+    def test_no_transactions_no_views(self):
+        machine = fresh_machine()
+        assert machine.peer_views(exclude=0) == []
+
+    def test_excludes_requester(self):
+        machine = fresh_machine()
+        arm_speculative(machine.executors[0])
+        assert machine.peer_views(exclude=0) == []
+        views = machine.peer_views(exclude=1)
+        assert [view.core for view in views] == [0]
+
+    def test_view_carries_power_flag(self):
+        machine = fresh_machine("P")
+        arm_speculative(machine.executors[0])
+        machine.power.try_acquire(0)
+        view = machine.peer_views(exclude=2)[0]
+        assert view.is_power
+
+    def test_failed_mode_flagged(self):
+        machine = fresh_machine()
+        arm_speculative(machine.executors[1], mode=ExecMode.FAILED_DISCOVERY)
+        view = machine.peer_views(exclude=0)[0]
+        assert view.is_failed
+
+
+class TestAbortAllSpeculative:
+    def test_dooms_speculative_peers(self):
+        machine = fresh_machine()
+        arm_speculative(machine.executors[0])
+        arm_speculative(machine.executors[1], mode=ExecMode.FAILED_DISCOVERY)
+        machine.abort_all_speculative(AbortReason.OTHER_FALLBACK, exclude=2)
+        assert machine.executors[0].pending_abort is AbortReason.OTHER_FALLBACK
+        assert machine.executors[1].pending_abort is AbortReason.OTHER_FALLBACK
+
+    def test_excluded_core_untouched(self):
+        machine = fresh_machine()
+        arm_speculative(machine.executors[0])
+        machine.abort_all_speculative(AbortReason.OTHER_FALLBACK, exclude=0)
+        assert machine.executors[0].pending_abort is None
+
+    def test_running_scl_is_a_protocol_violation(self):
+        # The fallback writer can only acquire once all CL readers left;
+        # finding a live S-CL here means the guard was bypassed.
+        machine = fresh_machine("C")
+        arm_speculative(machine.executors[0], mode=ExecMode.S_CL)
+        with pytest.raises(SimulationError):
+            machine.abort_all_speculative(AbortReason.OTHER_FALLBACK, exclude=1)
+
+
+class TestFallbackLinePlacement:
+    def test_fallback_lock_line_disjoint_from_workload_data(self):
+        machine = fresh_machine()
+        # The lock line was allocated before workload setup; workload
+        # structures must start at or after the next line.
+        assert machine.fallback.line >= 1
+        workload = machine.workload
+        assert workload.object_base // 8 != machine.fallback.line

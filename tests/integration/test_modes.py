@@ -1,0 +1,141 @@
+"""Integration tests: CLEAR's execution modes end-to-end.
+
+Each scenario drives the decision tree down a specific branch and
+checks the machine both picks the expected mode and stays correct.
+"""
+
+from repro.core.modes import ExecMode
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.program import Branch, Invoke, Load, Store
+from tests.integration.test_machine_basic import ScriptedWorkload, counter_invoke
+
+
+def run_scripted(scripts, letter="C", cores=2, shared_lines=8, **overrides):
+    config = SimConfig.for_letter(letter, num_cores=cores, **overrides)
+    workload = ScriptedWorkload(scripts, shared_lines=shared_lines)
+    machine = Machine(config, workload, seed=1)
+    stats = machine.run()
+    return machine, workload, stats
+
+
+def pointer_chase_invoke(region="chase"):
+    """A mutable-footprint AR: chases a pointer stored in line 1."""
+
+    def build(workload):
+        ptr_slot = workload.addr(1)
+
+        def body():
+            target = yield Load(ptr_slot)
+            yield Branch(target)
+            if target != 0:
+                value = yield Load(target)
+                yield Store(target, value + 1)
+            # Move the pointer so retries see a different footprint.
+            yield Store(ptr_slot, workload.addr(2 + (int(target) % 3)))
+
+        return Invoke(("scripted", region), body)
+
+    return build
+
+
+def big_footprint_invoke(lines, region="big"):
+    def build(workload):
+        addrs = [workload.addr(line) for line in range(2, 2 + lines)]
+
+        def body():
+            for addr in addrs:
+                value = yield Load(addr)
+                yield Store(addr, value + 1)
+
+        return Invoke(("scripted", region), body)
+
+    return build
+
+
+class TestNsClMode:
+    def test_immutable_contended_region_converts(self):
+        script = [counter_invoke() for _ in range(15)]
+        _, _, stats = run_scripted({0: list(script), 1: list(script)})
+        assert stats.commits_by_mode.get(ExecMode.NS_CL, 0) > 0
+        assert stats.commits_by_mode.get(ExecMode.S_CL, 0) == 0
+
+    def test_nscl_commits_with_zero_or_few_fallbacks(self):
+        script = [counter_invoke() for _ in range(15)]
+        _, _, stats = run_scripted(
+            {0: list(script), 1: list(script)}, retry_threshold=3
+        )
+        fallback = stats.commits_by_mode.get(ExecMode.FALLBACK, 0)
+        assert fallback <= stats.total_commits * 0.2
+
+
+class TestSClMode:
+    def test_tainted_contended_region_uses_scl(self):
+        # Both threads hammer the pointer slot: the region is convertible
+        # (small footprint) but tainted (indirection) -> S-CL retries.
+        setup = [counter_invoke("warm")]  # touch memory so lines exist
+        script = [pointer_chase_invoke() for _ in range(20)]
+        _, _, stats = run_scripted(
+            {0: setup + list(script), 1: list(script)}
+        )
+        assert stats.commits_by_mode.get(ExecMode.S_CL, 0) > 0
+        assert stats.commits_by_mode.get(ExecMode.NS_CL, 0) == 0
+
+
+class TestSpeculativeRetryPath:
+    def test_oversized_region_never_converts(self):
+        # Footprint of 40 lines > 32-entry ALT: CLEAR must leave the
+        # region on the plain speculative/fallback path.
+        script = [big_footprint_invoke(40) for _ in range(6)]
+        _, _, stats = run_scripted(
+            {0: list(script), 1: list(script)}, shared_lines=64
+        )
+        assert stats.commits_by_mode.get(ExecMode.NS_CL, 0) == 0
+        assert stats.commits_by_mode.get(ExecMode.S_CL, 0) == 0
+        assert stats.total_commits == 12
+
+
+class TestDiscoveryBookkeeping:
+    def test_ert_disables_discovery_for_oversized_region(self):
+        script = [big_footprint_invoke(40) for _ in range(6)]
+        machine, _, _ = run_scripted(
+            {0: list(script), 1: list(script)}, shared_lines=64
+        )
+        entry = machine.executors[0].controller.ert.lookup(("scripted", "big"))
+        assert entry is not None
+        assert not entry.is_convertible
+
+    def test_contended_immutable_region_stays_convertible(self):
+        script = [counter_invoke() for _ in range(15)]
+        machine, _, _ = run_scripted({0: list(script), 1: list(script)})
+        entry = machine.executors[0].controller.ert.lookup(("scripted", "r"))
+        assert entry is not None
+        assert entry.is_convertible
+        assert entry.is_immutable
+
+    def test_discovery_time_tracked_under_contention(self):
+        script = [counter_invoke() for _ in range(15)]
+        _, _, stats = run_scripted({0: list(script), 1: list(script)})
+        assert stats.discovery_time_fraction() >= 0.0
+
+
+class TestLockRelease:
+    def test_no_locks_leak_after_run(self):
+        script = [counter_invoke() for _ in range(10)]
+        machine, _, _ = run_scripted({0: list(script), 1: list(script)})
+        assert machine.memsys.locks.locked_line_count() == 0
+
+    def test_fallback_lock_released(self):
+        script = [counter_invoke() for _ in range(10)]
+        machine, _, _ = run_scripted(
+            {0: list(script), 1: list(script)}, retry_threshold=1
+        )
+        assert not machine.fallback.is_write_held()
+        assert machine.fallback.readers == frozenset()
+
+    def test_power_token_released(self):
+        script = [counter_invoke() for _ in range(10)]
+        machine, _, _ = run_scripted(
+            {0: list(script), 1: list(script)}, letter="W"
+        )
+        assert machine.power.holder is None

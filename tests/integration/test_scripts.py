@@ -1,0 +1,45 @@
+"""Smoke tests for the reproduction scripts (run + render pipeline)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SCRIPTS = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+
+
+class TestExperimentPipeline:
+    def test_run_then_render(self, tmp_path, monkeypatch):
+        json_path = tmp_path / "results.json"
+        md_path = tmp_path / "EXPERIMENTS.md"
+        # A micro scale is not exposed via argv, so monkeypatch through
+        # the module API instead of the CLI for the run step.
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(
+                run_experiments, "settings_for",
+                lambda scale: run_experiments.ExperimentSettings(
+                    benchmarks=("mwobject",), num_cores=2, ops_per_thread=3,
+                    seeds=(1,),
+                ),
+            )
+            monkeypatch.setattr(sys, "argv",
+                                ["run_experiments.py", "micro", str(json_path)])
+            run_experiments.main()
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        data = json.loads(json_path.read_text())
+        assert "headline" in data and "fig8_times" in data
+
+        result = subprocess.run(
+            [sys.executable, str(SCRIPTS / "render_experiments.py"),
+             str(json_path), str(md_path)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        text = md_path.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Fig. 8" in text
+        assert "mwobject" in text

@@ -1,0 +1,116 @@
+"""Tests for the in-core speculation (SLE) substrate (§4.1/§4.3)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.program import Invoke, Load, Store
+from repro.workloads import make_workload
+from tests.integration.test_machine_basic import ScriptedWorkload, counter_invoke
+
+
+def run_scripted(scripts, cores=2, shared_lines=80, **overrides):
+    config = SimConfig.for_letter("C", num_cores=cores, speculation="sle",
+                                  **overrides)
+    workload = ScriptedWorkload(scripts, shared_lines=shared_lines)
+    machine = Machine(config, workload, seed=1)
+    stats = machine.run()
+    return machine, workload, stats
+
+
+def wide_region_invoke(stores, region="wide"):
+    """A region whose store count can exceed the SQ."""
+
+    def build(workload):
+        addrs = [workload.addr(index % workload.shared_lines) for index in range(stores)]
+
+        def body():
+            for addr in addrs:
+                value = yield Load(addr)
+                yield Store(addr, value + 1)
+
+        return Invoke(("scripted", region), body)
+
+    return build
+
+
+class TestConfig:
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(speculation="oracle")
+
+    def test_default_is_htm(self):
+        assert SimConfig().speculation == "htm"
+
+    def test_replaced_preserves(self):
+        assert SimConfig(speculation="sle").replaced(num_cores=2).speculation == "sle"
+
+
+class TestWindowLimits:
+    def test_small_regions_unaffected(self):
+        script = [counter_invoke() for _ in range(6)]
+        machine, workload, stats = run_scripted({0: list(script), 1: list(script)})
+        assert stats.total_commits == 12
+        assert machine.memory.peek(workload.addr(0)) == 12
+
+    def test_sq_overflow_forces_fallback(self):
+        # 80 stores > 72 SQ entries: the speculative attempt cannot fit
+        # the in-core window; completion must come from the fallback.
+        script = [wide_region_invoke(80)]
+        _, _, stats = run_scripted({0: script}, retry_threshold=2,
+                                   backoff_base=0)
+        assert stats.total_commits == 1
+        assert stats.aborts_by_reason.get(AbortReason.SQ_OVERFLOW, 0) > 0
+        assert stats.commits_by_mode.get(ExecMode.FALLBACK, 0) == 1
+
+    def test_rob_overflow_detected(self):
+        # 400 ops > 352 ROB entries, with few distinct stores.
+        def long_region(workload):
+            addr = workload.addr(0)
+
+            def body():
+                value = yield Load(addr)
+                for _ in range(360):
+                    from repro.sim.program import Compute
+
+                    yield Compute(1)
+                yield Store(addr, value + 1)
+
+            return Invoke(("scripted", "long"), body)
+
+        _, _, stats = run_scripted({0: [long_region]}, retry_threshold=2,
+                                   backoff_base=0)
+        assert stats.aborts_by_reason.get(AbortReason.ROB_OVERFLOW, 0) > 0
+        assert stats.commits_by_mode.get(ExecMode.FALLBACK, 0) == 1
+
+    def test_window_overflow_marks_region_non_convertible(self):
+        script = [wide_region_invoke(80)]
+        machine, _, _ = run_scripted({0: script}, retry_threshold=2,
+                                     backoff_base=0)
+        entry = machine.executors[0].controller.ert.lookup(("scripted", "wide"))
+        assert entry is not None
+        assert not entry.is_convertible
+
+    def test_htm_mode_commits_same_region_speculatively(self):
+        # The same 80-store region fits out-of-core speculation (the
+        # rwset capacity is the private cache, far bigger than the SQ).
+        config = SimConfig.for_letter("C", num_cores=1, speculation="htm")
+        workload = ScriptedWorkload({0: [wide_region_invoke(80)]},
+                                    shared_lines=80)
+        machine = Machine(config, workload, seed=1)
+        stats = machine.run()
+        assert stats.commits_by_mode.get(ExecMode.SPECULATIVE, 0) == 1
+
+
+class TestSleWholeWorkloads:
+    @pytest.mark.parametrize("name", ("mwobject", "bitcoin", "bst"))
+    def test_workloads_complete_under_sle(self, name):
+        config = SimConfig.for_letter("W", num_cores=4, speculation="sle")
+        workload = make_workload(name, ops_per_thread=8)
+        machine = Machine(config, workload, seed=2)
+        stats = machine.run()
+        assert not stats.truncated
+        assert stats.total_commits == 4 * 8

@@ -1,0 +1,77 @@
+"""Property-based tests for the set-associative cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssocCache
+
+lines = st.integers(min_value=0, max_value=255)
+
+
+def build_cache():
+    return SetAssocCache(size_bytes=4 * 2 * 64, assoc=2)  # 4 sets x 2 ways
+
+
+@given(st.lists(lines, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_geometry(sequence):
+    cache = build_cache()
+    for line in sequence:
+        cache.insert(line)
+    per_set = {}
+    for line in cache.resident_lines():
+        per_set.setdefault(cache.set_index(line), []).append(line)
+    for entries in per_set.values():
+        assert len(entries) <= cache.assoc
+        assert len(set(entries)) == len(entries)
+
+
+@given(st.lists(lines, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_most_recent_insert_always_resident(sequence):
+    cache = build_cache()
+    for line in sequence:
+        cache.insert(line)
+        assert cache.contains(line)
+
+
+@given(st.lists(lines, min_size=1, max_size=100), st.data())
+@settings(max_examples=60, deadline=None)
+def test_pinned_lines_survive_any_traffic(pin_candidates, data):
+    cache = build_cache()
+    pinned = []
+    for line in pin_candidates[:2]:
+        if cache.set_index(line) not in [cache.set_index(p) for p in pinned]:
+            cache.insert(line)
+            cache.pin(line)
+            pinned.append(line)
+    traffic = data.draw(st.lists(lines, max_size=150))
+    for line in traffic:
+        try:
+            cache.insert(line)
+        except OverflowError:
+            pass
+    for line in pinned:
+        assert cache.contains(line)
+        assert cache.is_pinned(line)
+
+
+@given(st.sets(lines, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_can_coreside_matches_insertion_feasibility(footprint):
+    cache = build_cache()
+    feasible = cache.can_coreside(footprint)
+    per_set = {}
+    for line in footprint:
+        per_set[cache.set_index(line)] = per_set.get(cache.set_index(line), 0) + 1
+    assert feasible == all(count <= cache.assoc for count in per_set.values())
+
+
+@given(st.lists(lines, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_invalidate_then_absent(sequence):
+    cache = build_cache()
+    for line in sequence:
+        cache.insert(line)
+        cache.invalidate(line)
+        assert not cache.contains(line)

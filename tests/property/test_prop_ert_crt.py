@@ -1,0 +1,73 @@
+"""Property-based tests for the ERT and CRT tables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.crt import ConflictingReadsTable
+from repro.core.ert import SQ_FULL_COUNTER_MAX, ExploredRegionTable
+
+region_ids = st.integers(min_value=0, max_value=40)
+lines = st.integers(min_value=0, max_value=255)
+
+
+@given(st.lists(region_ids, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_ert_never_exceeds_capacity(sequence):
+    table = ExploredRegionTable(16)
+    for region in sequence:
+        table.ensure(region)
+        assert len(table) <= 16
+
+
+@given(st.lists(region_ids, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_ert_most_recent_always_present(sequence):
+    table = ExploredRegionTable(4)
+    for region in sequence:
+        table.ensure(region)
+        assert region in table
+
+
+@given(st.lists(st.tuples(region_ids, st.booleans()), max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_ert_counter_always_in_two_bit_range(sequence):
+    table = ExploredRegionTable(8)
+    for region, overflow in sequence:
+        entry = table.ensure(region)
+        if overflow:
+            entry.note_sq_overflow()
+        else:
+            entry.note_commit()
+        assert 0 <= entry.sq_full_counter <= SQ_FULL_COUNTER_MAX
+
+
+@given(st.lists(lines, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_crt_never_exceeds_geometry(sequence):
+    crt = ConflictingReadsTable(16, 4)
+    for line in sequence:
+        crt.insert(line)
+        assert len(crt) <= 16
+        per_set = {}
+        for tracked in crt.lines():
+            per_set[tracked % crt.num_sets] = per_set.get(tracked % crt.num_sets, 0) + 1
+        assert all(count <= crt.assoc for count in per_set.values())
+
+
+@given(st.lists(lines, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_crt_most_recent_insert_present(sequence):
+    crt = ConflictingReadsTable(16, 4)
+    for line in sequence:
+        crt.insert(line)
+        assert line in crt
+
+
+@given(st.lists(lines, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_crt_no_duplicates(sequence):
+    crt = ConflictingReadsTable(16, 4)
+    for line in sequence:
+        crt.insert(line)
+    tracked = crt.lines()
+    assert len(tracked) == len(set(tracked))

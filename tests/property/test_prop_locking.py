@@ -1,0 +1,73 @@
+"""Property-based tests for the lock manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.locking import LockDenied, LockManager
+
+cores = st.integers(min_value=0, max_value=3)
+lines = st.integers(min_value=0, max_value=15)
+events = st.lists(
+    st.tuples(st.sampled_from(["lock", "unlock_all"]), cores, lines), max_size=100
+)
+
+
+@given(events)
+@settings(max_examples=100, deadline=None)
+def test_lock_table_bidirectional_consistency(sequence):
+    locks = LockManager()
+    for kind, core, line in sequence:
+        if kind == "lock":
+            try:
+                locks.try_lock(core, line)
+            except LockDenied:
+                pass
+        else:
+            locks.unlock_all(core)
+        # Invariant: holder maps and per-core maps agree exactly.
+        forward = {}
+        for owner in range(4):
+            for held in locks.held_lines(owner):
+                forward[held] = owner
+        backward = {
+            line_id: locks.holder(line_id)
+            for line_id in range(16)
+            if locks.holder(line_id) is not None
+        }
+        assert forward == backward
+        assert locks.locked_line_count() == len(backward)
+
+
+@given(events)
+@settings(max_examples=100, deadline=None)
+def test_at_most_one_holder_per_line(sequence):
+    locks = LockManager()
+    for kind, core, line in sequence:
+        if kind == "lock":
+            try:
+                locks.try_lock(core, line)
+            except LockDenied:
+                pass
+        else:
+            locks.unlock_all(core)
+        holders = [
+            owner
+            for owner in range(4)
+            for held in [locks.held_lines(owner)]
+            if line in held
+        ]
+        assert len(holders) <= 1
+
+
+@given(st.lists(st.tuples(cores, lines), max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_unlock_all_leaves_no_residue(sequence):
+    locks = LockManager()
+    for core, line in sequence:
+        try:
+            locks.try_lock(core, line)
+        except LockDenied:
+            pass
+    for core in range(4):
+        locks.unlock_all(core)
+    assert locks.locked_line_count() == 0

@@ -1,0 +1,101 @@
+"""Property-based tests for the assembled memory system.
+
+Random access/lock/unlock traffic must keep the cross-structure
+invariants (lock table <-> pins <-> directory ownership, L1/L2
+inclusion) intact at every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.locking import LockDenied
+from repro.memory.system import MemorySystem
+
+
+def small_memsys():
+    return MemorySystem(
+        num_cores=3,
+        l1_size=4 * 64 * 2, l1_assoc=2,
+        l2_size=16 * 64 * 4, l2_assoc=4,
+        l3_size=64 * 64 * 8, l3_assoc=8,
+        directory_sets=16,
+    )
+
+
+def check_consistency(memsys):
+    for core in range(memsys.num_cores):
+        l2_lines = set(memsys.l2[core].resident_lines())
+        for line in memsys.l1[core].resident_lines():
+            assert line in l2_lines, "L1 line outside inclusive L2"
+        for line in memsys.locks.held_lines(core):
+            assert memsys.l1[core].is_pinned(line)
+            assert memsys.directory.is_owner(core, line)
+    # Every line has at most one exclusive owner.
+    owners = {}
+    for core in range(memsys.num_cores):
+        for line in memsys.l1[core].resident_lines():
+            if memsys.directory.is_owner(core, line):
+                assert owners.setdefault(line, core) == core
+
+
+cores = st.integers(min_value=0, max_value=2)
+lines = st.integers(min_value=0, max_value=31)
+events = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "lock", "unlock_all"]),
+              cores, lines),
+    max_size=80,
+)
+
+
+@given(events)
+@settings(max_examples=80, deadline=None)
+def test_random_traffic_keeps_invariants(sequence):
+    memsys = small_memsys()
+    for kind, core, line in sequence:
+        try:
+            if kind == "read":
+                if memsys.locks.holder(line) in (None, core):
+                    memsys.access(core, line, is_write=False)
+            elif kind == "write":
+                if memsys.locks.holder(line) in (None, core):
+                    memsys.access(core, line, is_write=True)
+            elif kind == "lock":
+                memsys.acquire_line_lock(core, line)
+            else:
+                memsys.release_all_locks(core)
+        except (LockDenied, OverflowError):
+            pass
+        check_consistency(memsys)
+
+
+@given(events)
+@settings(max_examples=60, deadline=None)
+def test_release_all_always_leaves_clean_lock_state(sequence):
+    memsys = small_memsys()
+    for kind, core, line in sequence:
+        try:
+            if kind == "lock":
+                memsys.acquire_line_lock(core, line)
+            elif kind in ("read", "write"):
+                if memsys.locks.holder(line) in (None, core):
+                    memsys.access(core, line, is_write=(kind == "write"))
+            else:
+                memsys.release_all_locks(core)
+        except (LockDenied, OverflowError):
+            pass
+    for core in range(3):
+        memsys.release_all_locks(core)
+    assert memsys.locks.locked_line_count() == 0
+    for core in range(3):
+        for line in memsys.l1[core].resident_lines():
+            assert not memsys.l1[core].is_pinned(line)
+
+
+@given(st.lists(st.tuples(cores, lines), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_write_ownership_is_exclusive(writes):
+    memsys = small_memsys()
+    for core, line in writes:
+        memsys.access(core, line, is_write=True)
+        holders = memsys.directory.holders(line)
+        assert holders == {core}

@@ -1,0 +1,62 @@
+"""Property-based tests for taint propagation (indirection bits)."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indirection import TaintedValue, taint_of, value_of
+
+ints = st.integers(min_value=-(2 ** 32), max_value=2 ** 32)
+safe_ops = st.sampled_from(
+    [operator.add, operator.sub, operator.mul, operator.and_, operator.or_,
+     operator.xor]
+)
+
+
+def as_operand(value, tainted):
+    return TaintedValue(value, tainted)
+
+
+@given(ints, ints, st.booleans(), st.booleans(), safe_ops)
+@settings(max_examples=120, deadline=None)
+def test_taint_is_or_of_operands(a, b, taint_a, taint_b, op):
+    result = op(as_operand(a, taint_a), as_operand(b, taint_b))
+    assert result.tainted == (taint_a or taint_b)
+    assert result.value == op(a, b)
+
+
+@given(ints, ints, st.booleans(), safe_ops)
+@settings(max_examples=120, deadline=None)
+def test_mixing_with_plain_int_preserves_value_semantics(a, b, tainted, op):
+    result = op(as_operand(a, tainted), b)
+    assert result.value == op(a, b)
+    assert result.tainted == tainted
+
+
+@given(ints, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_taint_never_lost_by_identity_chains(a, tainted):
+    value = as_operand(a, tainted)
+    chained = ((value + 0) * 1) - 0
+    assert chained.tainted == tainted
+    assert chained.value == a
+
+
+@given(ints, ints)
+@settings(max_examples=80, deadline=None)
+def test_comparisons_agree_with_ints(a, b):
+    ta, tb = TaintedValue(a), TaintedValue(b)
+    assert (ta == tb) == (a == b)
+    assert (ta < tb) == (a < b)
+    assert (ta >= tb) == (a >= b)
+
+
+@given(ints, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_value_of_and_taint_of_roundtrip(a, tainted):
+    wrapped = TaintedValue(a, tainted)
+    assert value_of(wrapped) == a
+    assert taint_of(wrapped) == tainted
+    assert value_of(a) == a
+    assert not taint_of(a)

@@ -1,0 +1,100 @@
+"""Property-based whole-machine test: conservation under indirections.
+
+Random transfer workloads (bitcoin-shaped: pointer-table indirection,
+so CLEAR retries them in S-CL) must conserve the total balance in every
+configuration, for any seed and any table size — even with occasional
+read-only audit regions mixed in.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.program import Branch, Load, Store
+from repro.workloads.base import Mutability, RegionSpec, Workload
+
+INITIAL = 1_000
+
+
+class TransferWorkload(Workload):
+    """Random transfers through a pointer table, plus audits."""
+
+    name = "prop-transfers"
+
+    def __init__(self, num_accounts, audit_share):
+        super().__init__(ops_per_thread=5, think_cycles=(1, 30))
+        self.num_accounts = num_accounts
+        self.audit_share = audit_share
+        self.table = None
+        self.records = None
+
+    def region_specs(self):
+        return [
+            RegionSpec("transfer", Mutability.LIKELY_IMMUTABLE),
+            RegionSpec("audit", Mutability.MUTABLE),
+        ]
+
+    def setup(self, memory, allocator, num_threads, rng):
+        self.base_setup(num_threads)
+        self.table = allocator.alloc(self.num_accounts, align_line=True)
+        self.records = allocator.alloc_lines(self.num_accounts)
+        for index in range(self.num_accounts):
+            memory.poke(self.table + index, self.records + index * WORDS_PER_LINE)
+            memory.poke(self.records + index * WORDS_PER_LINE, INITIAL)
+
+    def make_invocation(self, thread_id, rng):
+        if rng.random() < self.audit_share or self.num_accounts < 2:
+            first = self.table
+
+            def audit():
+                account = yield Load(first)
+                yield Branch(account)
+                yield Load(account)
+
+            return self.invoke("audit", audit)
+        src, dst = rng.sample(range(self.num_accounts), 2)
+        amount = rng.randint(1, 40)
+        table = self.table
+
+        def transfer():
+            account_src = yield Load(table + src)
+            account_dst = yield Load(table + dst)
+            balance_src = yield Load(account_src)
+            balance_dst = yield Load(account_dst)
+            yield Store(account_src, balance_src - amount)
+            yield Store(account_dst, balance_dst + amount)
+
+        return self.invoke("transfer", transfer)
+
+    def total(self, memory):
+        return sum(
+            memory.peek(self.records + index * WORDS_PER_LINE)
+            for index in range(self.num_accounts)
+        )
+
+
+@given(
+    letter=st.sampled_from(["B", "P", "C", "W"]),
+    seed=st.integers(min_value=1, max_value=10_000),
+    num_accounts=st.integers(min_value=1, max_value=8),
+    audit_share=st.sampled_from([0.0, 0.3]),
+    retry_threshold=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_transfers_conserve_total(letter, seed, num_accounts, audit_share,
+                                  retry_threshold):
+    config = SimConfig.for_letter(
+        letter, num_cores=4, retry_threshold=retry_threshold
+    )
+    workload = TransferWorkload(num_accounts, audit_share)
+    machine = Machine(config, workload, seed=seed)
+    stats = machine.run()
+    assert not stats.truncated
+    assert stats.total_commits == 4 * 5
+    assert workload.total(machine.memory) == num_accounts * INITIAL
+    assert machine.memsys.locks.locked_line_count() == 0
+    from repro.sim.validate import validate_machine
+
+    assert validate_machine(machine)

@@ -1,0 +1,48 @@
+"""Unit tests for the abort taxonomy."""
+
+from repro.htm.abort import (
+    AbortCategory,
+    AbortReason,
+    categorize_abort,
+    counts_toward_retry_limit,
+)
+
+
+class TestCategorization:
+    def test_memory_conflict_category(self):
+        assert categorize_abort(AbortReason.MEMORY_CONFLICT) is AbortCategory.MEMORY_CONFLICT
+
+    def test_nack_counts_as_memory_conflict(self):
+        assert categorize_abort(AbortReason.NACKED) is AbortCategory.MEMORY_CONFLICT
+
+    def test_explicit_fallback_category(self):
+        assert categorize_abort(AbortReason.EXPLICIT_FALLBACK) is AbortCategory.EXPLICIT_FALLBACK
+
+    def test_other_fallback_category(self):
+        assert categorize_abort(AbortReason.OTHER_FALLBACK) is AbortCategory.OTHER_FALLBACK
+
+    def test_capacity_is_others(self):
+        assert categorize_abort(AbortReason.CAPACITY) is AbortCategory.OTHERS
+
+    def test_every_reason_categorized(self):
+        for reason in AbortReason:
+            assert categorize_abort(reason) in AbortCategory
+
+
+class TestRetryCounting:
+    def test_memory_conflict_counts(self):
+        assert counts_toward_retry_limit(AbortReason.MEMORY_CONFLICT)
+
+    def test_fallback_aborts_do_not_count(self):
+        # Paper §7: aborts caused by the fallback lock do not advance the
+        # counter toward the fallback path.
+        assert not counts_toward_retry_limit(AbortReason.EXPLICIT_FALLBACK)
+        assert not counts_toward_retry_limit(AbortReason.OTHER_FALLBACK)
+
+    def test_capacity_counts(self):
+        assert counts_toward_retry_limit(AbortReason.CAPACITY)
+
+    def test_nacks_do_not_count(self):
+        # A NACK means a power-mode or cacheline-locked holder is about
+        # to finish; serializing the nacked AR would be counterproductive.
+        assert not counts_toward_retry_limit(AbortReason.NACKED)

@@ -1,0 +1,58 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.common.constants import CACHELINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+from repro.memory.address import (
+    directory_set_of_line,
+    lexicographical_key,
+    line_of_word,
+    word_of_line,
+)
+
+
+class TestConstants:
+    def test_line_holds_eight_words(self):
+        assert WORDS_PER_LINE == 8
+        assert CACHELINE_BYTES == WORDS_PER_LINE * WORD_BYTES
+
+
+class TestLineMapping:
+    def test_first_line(self):
+        assert line_of_word(0) == 0
+        assert line_of_word(7) == 0
+
+    def test_second_line(self):
+        assert line_of_word(8) == 1
+        assert line_of_word(15) == 1
+
+    def test_round_trip(self):
+        for line in (0, 1, 17, 1000):
+            assert line_of_word(word_of_line(line)) == line
+
+    def test_words_of_same_line_map_together(self):
+        base = word_of_line(42)
+        assert all(line_of_word(base + offset) == 42 for offset in range(8))
+
+
+class TestDirectorySet:
+    def test_modulo_mapping(self):
+        assert directory_set_of_line(0, 16) == 0
+        assert directory_set_of_line(17, 16) == 1
+        assert directory_set_of_line(16, 16) == 0
+
+    def test_rejects_non_positive_sets(self):
+        with pytest.raises(ValueError):
+            directory_set_of_line(1, 0)
+
+    def test_lexicographical_key_orders_by_set_then_line(self):
+        # lines 1 and 17 share set 1 (16 sets); 2 is in set 2.
+        key_1 = lexicographical_key(1, 16)
+        key_17 = lexicographical_key(17, 16)
+        key_2 = lexicographical_key(2, 16)
+        assert key_1 < key_17  # same set, lower line first
+        assert key_17 < key_2  # lower set before higher set
+
+    def test_lexicographical_key_total_order(self):
+        keys = [lexicographical_key(line, 8) for line in range(64)]
+        assert len(set(keys)) == 64

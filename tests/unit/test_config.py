@@ -1,0 +1,85 @@
+"""Unit tests for SimConfig (Table 2 defaults and B/P/C/W mapping)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.config import HtmPolicy, SimConfig
+
+
+class TestTable2Defaults:
+    def test_core_count(self):
+        assert SimConfig().num_cores == 32
+
+    def test_cache_sizes(self):
+        config = SimConfig()
+        assert config.l1_size == 48 * 1024 and config.l1_assoc == 12
+        assert config.l2_size == 512 * 1024 and config.l2_assoc == 8
+        assert config.l3_size == 4 * 1024 * 1024 and config.l3_assoc == 16
+
+    def test_latencies(self):
+        config = SimConfig()
+        assert (config.l1_latency, config.l2_latency) == (1, 10)
+        assert (config.l3_latency, config.mem_latency) == (45, 80)
+
+    def test_speculative_window(self):
+        config = SimConfig()
+        assert config.rob_entries == 352
+        assert config.lq_entries == 128
+        assert config.sq_entries == 72
+
+    def test_clear_table_sizes(self):
+        config = SimConfig()
+        assert config.ert_entries == 16
+        assert config.alt_entries == 32
+        assert config.crt_entries == 64
+        assert config.crt_assoc == 8
+
+
+class TestConfigLetters:
+    @pytest.mark.parametrize(
+        "letter, powertm, clear",
+        [("B", False, False), ("P", True, False), ("C", False, True), ("W", True, True)],
+    )
+    def test_letter_round_trip(self, letter, powertm, clear):
+        config = SimConfig.for_letter(letter)
+        assert config.powertm == powertm
+        assert config.clear == clear
+        assert config.config_letter == letter
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig.for_letter("X")
+
+    def test_htm_policy(self):
+        assert SimConfig(powertm=True).htm_policy is HtmPolicy.POWER_TM
+        assert SimConfig().htm_policy is HtmPolicy.REQUESTER_WINS
+
+
+class TestValidation:
+    def test_rejects_no_cores(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(num_cores=0)
+
+    def test_rejects_zero_retries(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(retry_threshold=0)
+
+    def test_rejects_empty_tables(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(alt_entries=0)
+
+
+class TestReplaced:
+    def test_override_applied(self):
+        config = SimConfig().replaced(retry_threshold=7)
+        assert config.retry_threshold == 7
+
+    def test_other_fields_preserved(self):
+        config = SimConfig(num_cores=8, clear=True).replaced(retry_threshold=7)
+        assert config.num_cores == 8
+        assert config.clear
+
+    def test_original_unchanged(self):
+        original = SimConfig()
+        original.replaced(num_cores=2)
+        assert original.num_cores == 32

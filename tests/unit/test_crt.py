@@ -1,0 +1,55 @@
+"""Unit tests for the Conflicting Reads Table."""
+
+import pytest
+
+from repro.core.crt import ConflictingReadsTable
+
+
+class TestGeometry:
+    def test_paper_sizing(self):
+        crt = ConflictingReadsTable(64, 8)
+        assert crt.num_sets == 8
+        assert crt.assoc == 8
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            ConflictingReadsTable(10, 4)
+
+
+class TestInsertLookup:
+    def test_insert_then_contains(self):
+        crt = ConflictingReadsTable(8, 2)
+        crt.insert(5)
+        assert 5 in crt
+        assert 6 not in crt
+
+    def test_duplicate_insert_no_growth(self):
+        crt = ConflictingReadsTable(8, 2)
+        crt.insert(5)
+        crt.insert(5)
+        assert len(crt) == 1
+        assert crt.insertions == 1
+
+    def test_lru_within_set(self):
+        crt = ConflictingReadsTable(8, 2)  # 4 sets, 2 ways
+        crt.insert(0)
+        crt.insert(4)   # same set as 0
+        assert 0 in crt  # refreshes 0; 4 becomes LRU
+        crt.insert(8)   # same set: evicts 4
+        assert 4 not in crt
+        assert 0 in crt
+        assert crt.evictions == 1
+
+    def test_sets_are_independent(self):
+        crt = ConflictingReadsTable(8, 2)
+        crt.insert(0)
+        crt.insert(1)
+        crt.insert(2)
+        crt.insert(3)
+        assert len(crt) == 4
+
+    def test_lines_lists_all(self):
+        crt = ConflictingReadsTable(8, 2)
+        for line in (1, 2, 3):
+            crt.insert(line)
+        assert sorted(crt.lines()) == [1, 2, 3]

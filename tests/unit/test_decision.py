@@ -1,0 +1,67 @@
+"""Unit tests for the Fig. 2 decision tree."""
+
+from repro.core.decision import decide_retry_mode
+from repro.core.discovery import DiscoveryAssessment
+from repro.core.modes import ExecMode
+
+
+def assessment(fits=True, lockable=True, immutable=True):
+    return DiscoveryAssessment(
+        fits_window=fits,
+        lockable=lockable,
+        immutable=immutable,
+        sq_overflow=not fits,
+        alt_overflow=False,
+        footprint=[1, 2],
+    )
+
+
+class TestDecisionTree:
+    def test_immutable_lockable_goes_nscl(self):
+        decision = decide_retry_mode(assessment())
+        assert decision.mode is ExecMode.NS_CL
+
+    def test_mutable_lockable_goes_scl(self):
+        decision = decide_retry_mode(assessment(immutable=False))
+        assert decision.mode is ExecMode.S_CL
+
+    def test_mutable_read_only_goes_speculative(self):
+        decision = decide_retry_mode(assessment(immutable=False), has_writes=False)
+        assert decision.mode is ExecMode.SPECULATIVE
+
+    def test_immutable_read_only_still_nscl(self):
+        decision = decide_retry_mode(assessment(immutable=True), has_writes=False)
+        assert decision.mode is ExecMode.NS_CL
+
+    def test_unlockable_goes_speculative(self):
+        decision = decide_retry_mode(assessment(lockable=False))
+        assert decision.mode is ExecMode.SPECULATIVE
+
+    def test_window_overflow_goes_speculative(self):
+        decision = decide_retry_mode(assessment(fits=False, lockable=False))
+        assert decision.mode is ExecMode.SPECULATIVE
+
+    def test_overflow_dominates_immutability(self):
+        decision = decide_retry_mode(
+            assessment(fits=False, lockable=False, immutable=True)
+        )
+        assert decision.mode is ExecMode.SPECULATIVE
+
+    def test_reasons_are_informative(self):
+        assert "immutable" in decide_retry_mode(assessment()).reason
+        assert "indirection" in decide_retry_mode(assessment(immutable=False)).reason
+
+
+class TestModeProperties:
+    def test_cl_modes(self):
+        assert ExecMode.NS_CL.is_cacheline_locked
+        assert ExecMode.S_CL.is_cacheline_locked
+        assert not ExecMode.SPECULATIVE.is_cacheline_locked
+        assert not ExecMode.FALLBACK.is_cacheline_locked
+
+    def test_speculative_modes(self):
+        assert ExecMode.SPECULATIVE.is_speculative
+        assert ExecMode.FAILED_DISCOVERY.is_speculative
+        assert ExecMode.S_CL.is_speculative
+        assert not ExecMode.NS_CL.is_speculative
+        assert not ExecMode.FALLBACK.is_speculative

@@ -1,0 +1,132 @@
+"""Unit tests for the discovery phase and its assessments."""
+
+from repro.core.discovery import DiscoveryState
+
+
+def make_discovery(sq=4, alt=4, coreside=True):
+    return DiscoveryState(
+        "region",
+        dir_set_of=lambda line: line % 4,
+        can_coreside=lambda lines: coreside,
+        sq_capacity=sq,
+        alt_entries=alt,
+    )
+
+
+class TestTracking:
+    def test_loads_and_stores_counted(self):
+        discovery = make_discovery()
+        discovery.on_load(1, False)
+        discovery.on_store(2, False)
+        assert discovery.load_count == 1
+        assert discovery.store_count == 1
+        assert discovery.op_count == 2
+
+    def test_footprint_recorded_in_alt(self):
+        discovery = make_discovery()
+        discovery.on_load(1, False)
+        discovery.on_store(2, False)
+        assert 1 in discovery.alt
+        assert 2 in discovery.alt
+        assert discovery.alt.entry(2).needs_locking
+        assert not discovery.alt.entry(1).needs_locking
+
+    def test_compute_counts_ops_only(self):
+        discovery = make_discovery()
+        discovery.on_compute(5)
+        assert discovery.op_count == 5
+        assert len(discovery.alt) == 0
+
+
+class TestIndirection:
+    def test_tainted_load_address_poisons(self):
+        discovery = make_discovery()
+        discovery.on_load(1, True)
+        assert discovery.indirection_seen
+
+    def test_tainted_store_address_poisons(self):
+        discovery = make_discovery()
+        discovery.on_store(1, True)
+        assert discovery.indirection_seen
+
+    def test_tainted_branch_poisons(self):
+        # §3: control dependencies are treated like data dependencies.
+        discovery = make_discovery()
+        discovery.on_branch(True)
+        assert discovery.indirection_seen
+
+    def test_clean_ops_do_not_poison(self):
+        discovery = make_discovery()
+        discovery.on_load(1, False)
+        discovery.on_branch(False)
+        assert not discovery.indirection_seen
+
+
+class TestResourceLimits:
+    def test_sq_overflow_detected(self):
+        discovery = make_discovery(sq=2)
+        for line in range(3):
+            discovery.on_store(line, False)
+        assert discovery.sq_overflow
+        assert discovery.exhausted
+
+    def test_alt_overflow_detected(self):
+        discovery = make_discovery(alt=2)
+        for line in range(3):
+            discovery.on_load(line, False)
+        assert discovery.alt_overflow
+        assert discovery.exhausted
+
+    def test_repeated_lines_do_not_overflow_alt(self):
+        discovery = make_discovery(alt=2)
+        for _ in range(10):
+            discovery.on_load(1, False)
+        assert not discovery.alt_overflow
+
+    def test_failed_mode_flag(self):
+        discovery = make_discovery()
+        assert not discovery.failed
+        discovery.enter_failed_mode()
+        assert discovery.failed
+
+
+class TestAssessment:
+    def test_clean_small_region_is_nscl_material(self):
+        discovery = make_discovery()
+        discovery.on_load(1, False)
+        discovery.on_store(2, False)
+        assessment = discovery.assess()
+        assert assessment.fits_window
+        assert assessment.lockable
+        assert assessment.immutable
+        assert assessment.footprint == [1, 2] or sorted(assessment.footprint) == [1, 2]
+
+    def test_indirection_breaks_immutability_only(self):
+        discovery = make_discovery()
+        discovery.on_load(1, True)
+        assessment = discovery.assess()
+        assert assessment.lockable
+        assert not assessment.immutable
+
+    def test_sq_overflow_breaks_window(self):
+        discovery = make_discovery(sq=1)
+        discovery.on_store(1, False)
+        discovery.on_store(2, False)
+        assessment = discovery.assess()
+        assert not assessment.fits_window
+        assert not assessment.lockable
+
+    def test_unlockable_cache_geometry(self):
+        discovery = make_discovery(coreside=False)
+        discovery.on_load(1, False)
+        assessment = discovery.assess()
+        assert assessment.fits_window
+        assert not assessment.lockable
+
+    def test_footprint_in_lexicographical_order(self):
+        discovery = make_discovery(alt=8)
+        for line in (6, 1, 4):
+            discovery.on_load(line, False)
+        assessment = discovery.assess()
+        keys = [(line % 4, line) for line in assessment.footprint]
+        assert keys == sorted(keys)

@@ -1,0 +1,62 @@
+"""Unit tests for the energy model."""
+
+from repro.core.modes import ExecMode
+from repro.energy.model import EnergyModel
+from repro.htm.abort import AbortReason
+from repro.sim.stats import MachineStats
+
+
+def populated_stats():
+    stats = MachineStats(num_cores=2)
+    stats.makespan_cycles = 1000
+    stats.record_access("L1")
+    stats.record_access("MEM")
+    stats.record_compute(10)
+    stats.record_branch()
+    stats.record_begin(0)
+    stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")
+    stats.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+    return stats
+
+
+class TestEnergyModel:
+    def test_static_scales_with_time_and_cores(self):
+        model = EnergyModel(static_power_per_core=0.5)
+        stats = populated_stats()
+        breakdown = model.evaluate(stats)
+        assert breakdown.static == 0.5 * 2 * 1000
+
+    def test_dynamic_includes_all_events(self):
+        model = EnergyModel()
+        breakdown = model.evaluate(populated_stats())
+        expected = (
+            model.access_energy["L1"]
+            + model.access_energy["MEM"]
+            + 10 * model.compute_op
+            + model.branch_op
+            + model.tx_begin
+            + model.tx_commit
+            + model.tx_abort
+        )
+        assert abs(breakdown.dynamic - expected) < 1e-9
+
+    def test_total_is_sum(self):
+        breakdown = EnergyModel().evaluate(populated_stats())
+        assert breakdown.total == breakdown.static + breakdown.dynamic
+
+    def test_memory_access_costs_more_than_l1(self):
+        model = EnergyModel()
+        assert model.access_energy["MEM"] > model.access_energy["L1"]
+
+    def test_aborts_increase_energy(self):
+        model = EnergyModel()
+        base = populated_stats()
+        more_aborts = populated_stats()
+        more_aborts.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+        assert model.evaluate(more_aborts).total > model.evaluate(base).total
+
+    def test_unknown_level_falls_back_to_l1_cost(self):
+        stats = MachineStats(1)
+        stats.record_access("WEIRD")
+        breakdown = EnergyModel().evaluate(stats)
+        assert breakdown.dynamic == EnergyModel().access_energy["L1"]

@@ -1,0 +1,90 @@
+"""Unit tests for the Explored Region Table."""
+
+from repro.core.ert import SQ_FULL_COUNTER_MAX, ErtEntry, ExploredRegionTable
+
+
+class TestEntryDefaults:
+    def test_defaults_per_paper(self):
+        # §5: "its entry is initialized with Is Convertible to one,
+        # Is Immutable to one, and the SQ-Full Counter to zero".
+        entry = ErtEntry("r")
+        assert entry.is_convertible
+        assert entry.is_immutable
+        assert entry.sq_full_counter == 0
+        assert entry.discovery_allowed
+
+
+class TestSqFullCounter:
+    def test_saturating_increment(self):
+        entry = ErtEntry("r")
+        for _ in range(10):
+            entry.note_sq_overflow()
+        assert entry.sq_full_counter == SQ_FULL_COUNTER_MAX
+
+    def test_saturation_disables_discovery(self):
+        entry = ErtEntry("r")
+        for _ in range(SQ_FULL_COUNTER_MAX):
+            entry.note_sq_overflow()
+        assert not entry.discovery_allowed
+
+    def test_commit_decrements(self):
+        entry = ErtEntry("r")
+        entry.note_sq_overflow()
+        entry.note_sq_overflow()
+        entry.note_commit()
+        assert entry.sq_full_counter == 1
+
+    def test_commit_floors_at_zero(self):
+        entry = ErtEntry("r")
+        entry.note_commit()
+        assert entry.sq_full_counter == 0
+
+    def test_commits_reenable_discovery(self):
+        entry = ErtEntry("r")
+        for _ in range(SQ_FULL_COUNTER_MAX):
+            entry.note_sq_overflow()
+        entry.note_commit()
+        assert entry.discovery_allowed
+
+
+class TestConvertibleBit:
+    def test_non_convertible_disables_discovery(self):
+        entry = ErtEntry("r")
+        entry.is_convertible = False
+        assert not entry.discovery_allowed
+
+
+class TestTable:
+    def test_lookup_missing_returns_none(self):
+        assert ExploredRegionTable(4).lookup("x") is None
+
+    def test_ensure_allocates_once(self):
+        table = ExploredRegionTable(4)
+        first = table.ensure("x")
+        second = table.ensure("x")
+        assert first is second
+        assert len(table) == 1
+
+    def test_lru_eviction(self):
+        table = ExploredRegionTable(2)
+        table.ensure("a")
+        table.ensure("b")
+        table.lookup("a")  # refresh a; b becomes LRU
+        table.ensure("c")
+        assert "b" not in table
+        assert "a" in table
+        assert table.evictions == 1
+
+    def test_evicted_region_reset_to_defaults(self):
+        table = ExploredRegionTable(1)
+        entry = table.ensure("a")
+        entry.is_convertible = False
+        table.ensure("b")  # evicts a
+        fresh = table.ensure("a")  # evicts b, reallocates a
+        assert fresh.is_convertible  # state was lost with the entry
+
+    def test_capacity_respected(self):
+        table = ExploredRegionTable(3)
+        for name in "abcdef":
+            table.ensure(name)
+        assert len(table) == 3

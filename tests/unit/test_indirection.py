@@ -1,0 +1,103 @@
+"""Unit tests for taint-based indirection tracking."""
+
+from repro.core.indirection import TaintedValue, taint_of, value_of
+
+
+class TestBasics:
+    def test_value_and_taint(self):
+        value = TaintedValue(5)
+        assert value.value == 5
+        assert value.tainted
+
+    def test_untainted_construction(self):
+        assert not TaintedValue(5, tainted=False).tainted
+
+    def test_value_of_plain_int(self):
+        assert value_of(7) == 7
+
+    def test_taint_of_plain_int_false(self):
+        assert not taint_of(7)
+
+    def test_int_conversion(self):
+        assert int(TaintedValue(9)) == 9
+
+    def test_index_usable(self):
+        items = [10, 20, 30]
+        assert items[TaintedValue(1)] == 20
+
+    def test_bool(self):
+        assert TaintedValue(1)
+        assert not TaintedValue(0)
+
+
+class TestPropagation:
+    def test_add_propagates(self):
+        result = TaintedValue(2) + 3
+        assert result.value == 5
+        assert result.tainted
+
+    def test_radd_propagates(self):
+        result = 3 + TaintedValue(2)
+        assert result.value == 5
+        assert result.tainted
+
+    def test_untainted_operands_stay_clean(self):
+        result = TaintedValue(2, tainted=False) + 3
+        assert not result.tainted
+
+    def test_either_operand_taints(self):
+        clean = TaintedValue(1, tainted=False)
+        dirty = TaintedValue(1, tainted=True)
+        assert (clean + dirty).tainted
+        assert (dirty + clean).tainted
+
+    def test_sub_mul_floordiv_mod(self):
+        value = TaintedValue(10)
+        assert (value - 2).value == 8
+        assert (value * 3).value == 30
+        assert (value // 3).value == 3
+        assert (value % 3).value == 1
+        assert all(
+            (value - 2).tainted for value in [TaintedValue(10)]
+        )
+
+    def test_rsub(self):
+        assert (20 - TaintedValue(5)).value == 15
+
+    def test_bitwise(self):
+        value = TaintedValue(0b1100)
+        assert (value & 0b1010).value == 0b1000
+        assert (value | 0b0011).value == 0b1111
+        assert (value ^ 0b1111).value == 0b0011
+        assert (value >> 2).value == 0b11
+        assert (value << 1).value == 0b11000
+
+    def test_negation_keeps_taint(self):
+        assert (-TaintedValue(3)).value == -3
+        assert (-TaintedValue(3)).tainted
+
+    def test_chains_accumulate_taint(self):
+        base = TaintedValue(4, tainted=False)
+        dirty = TaintedValue(1, tainted=True)
+        result = (base * 8) + dirty * 0
+        assert result.tainted  # taint survives multiplication by zero
+
+
+class TestComparisons:
+    def test_eq_against_int(self):
+        assert TaintedValue(5) == 5
+        assert not (TaintedValue(5) == 6)
+
+    def test_eq_against_tainted(self):
+        assert TaintedValue(5) == TaintedValue(5, tainted=False)
+
+    def test_ordering(self):
+        assert TaintedValue(3) < 4
+        assert TaintedValue(3) <= 3
+        assert TaintedValue(5) > 4
+        assert TaintedValue(5) >= 5
+        assert TaintedValue(5) != 6
+
+    def test_hash_by_value(self):
+        assert hash(TaintedValue(5)) == hash(5)
+        assert TaintedValue(5) in {5}

@@ -1,0 +1,92 @@
+"""Unit tests for the cacheline lock manager."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.memory.locking import LockDenied, LockManager, NackError
+
+
+class TestLockAcquire:
+    def test_lock_free_line(self):
+        locks = LockManager()
+        assert locks.try_lock(0, 10)
+        assert locks.holder(10) == 0
+        assert locks.is_locked(10)
+
+    def test_relock_own_line_idempotent(self):
+        locks = LockManager()
+        locks.try_lock(0, 10)
+        assert locks.try_lock(0, 10)
+        assert locks.held_lines(0) == {10}
+
+    def test_lock_contended_line_denied(self):
+        locks = LockManager()
+        locks.try_lock(0, 10)
+        with pytest.raises(LockDenied) as info:
+            locks.try_lock(1, 10)
+        assert info.value.holder == 0
+        assert info.value.line == 10
+
+
+class TestAccessGate:
+    def test_unlocked_line_passes(self):
+        LockManager().check_access(0, 5, nackable=True)
+
+    def test_holder_passes(self):
+        locks = LockManager()
+        locks.try_lock(0, 5)
+        locks.check_access(0, 5, nackable=True)
+
+    def test_nackable_access_nacked(self):
+        locks = LockManager()
+        locks.try_lock(0, 5)
+        with pytest.raises(NackError) as info:
+            locks.check_access(1, 5, nackable=True)
+        assert info.value.holder == 0
+
+    def test_non_nackable_access_waits(self):
+        locks = LockManager()
+        locks.try_lock(0, 5)
+        with pytest.raises(LockDenied):
+            locks.check_access(1, 5, nackable=False)
+
+
+class TestRelease:
+    def test_unlock_frees_line(self):
+        locks = LockManager()
+        locks.try_lock(0, 5)
+        locks.unlock(0, 5)
+        assert not locks.is_locked(5)
+        assert locks.held_lines(0) == set()
+
+    def test_unlock_foreign_line_raises(self):
+        locks = LockManager()
+        locks.try_lock(0, 5)
+        with pytest.raises(ProtocolError):
+            locks.unlock(1, 5)
+
+    def test_bulk_release(self):
+        locks = LockManager()
+        for line in (1, 2, 3):
+            locks.try_lock(0, line)
+        released = locks.unlock_all(0)
+        assert released == {1, 2, 3}
+        assert locks.locked_line_count() == 0
+
+    def test_bulk_release_only_own_lines(self):
+        locks = LockManager()
+        locks.try_lock(0, 1)
+        locks.try_lock(1, 2)
+        locks.unlock_all(0)
+        assert locks.is_locked(2)
+        assert not locks.is_locked(1)
+
+    def test_bulk_release_empty_ok(self):
+        assert LockManager().unlock_all(3) == set()
+
+    def test_held_lines_is_copy(self):
+        locks = LockManager()
+        locks.try_lock(0, 1)
+        view = locks.held_lines(0)
+        view.add(99)
+        assert locks.held_lines(0) == {1}

@@ -1,0 +1,43 @@
+"""Unit tests for the PowerTM token."""
+
+from repro.htm.powertm import PowerToken
+
+
+class TestPowerToken:
+    def test_initially_free(self):
+        token = PowerToken()
+        assert token.holder is None
+        assert not token.is_power(0)
+
+    def test_single_holder(self):
+        token = PowerToken()
+        assert token.try_acquire(0)
+        assert not token.try_acquire(1)
+        assert token.is_power(0)
+        assert not token.is_power(1)
+
+    def test_reacquire_idempotent(self):
+        token = PowerToken()
+        token.try_acquire(0)
+        assert token.try_acquire(0)
+        assert token.grants == 1
+
+    def test_release_frees_token(self):
+        token = PowerToken()
+        token.try_acquire(0)
+        token.release(0)
+        assert token.holder is None
+        assert token.try_acquire(1)
+
+    def test_release_by_non_holder_is_noop(self):
+        token = PowerToken()
+        token.try_acquire(0)
+        token.release(1)
+        assert token.holder == 0
+
+    def test_grants_counted(self):
+        token = PowerToken()
+        token.try_acquire(0)
+        token.release(0)
+        token.try_acquire(2)
+        assert token.grants == 2

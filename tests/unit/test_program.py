@@ -1,0 +1,70 @@
+"""Unit tests for the AR operation vocabulary."""
+
+import pytest
+
+from repro.core.indirection import TaintedValue
+from repro.sim.program import AbortOp, Branch, Compute, Invoke, Load, Store, Think
+
+
+class TestLoad:
+    def test_plain_address(self):
+        op = Load(100)
+        assert op.word_addr == 100
+        assert not op.addr_tainted
+
+    def test_tainted_address(self):
+        op = Load(TaintedValue(100))
+        assert op.word_addr == 100
+        assert op.addr_tainted
+
+    def test_untainted_wrapper(self):
+        assert not Load(TaintedValue(100, tainted=False)).addr_tainted
+
+
+class TestStore:
+    def test_plain(self):
+        op = Store(100, 7)
+        assert op.word_addr == 100
+        assert op.store_value == 7
+        assert not op.addr_tainted
+
+    def test_tainted_address(self):
+        assert Store(TaintedValue(100), 7).addr_tainted
+
+    def test_tainted_value_does_not_taint(self):
+        # §3 / Listing 1: storing loaded *data* to a fixed address keeps
+        # the AR immutable — only address taint matters.
+        op = Store(100, TaintedValue(7))
+        assert not op.addr_tainted
+        assert op.store_value == 7
+
+
+class TestComputeAndBranch:
+    def test_compute_defaults(self):
+        op = Compute(5)
+        assert op.cycles == 5
+        assert op.ops == 5
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_branch_taint(self):
+        assert Branch(TaintedValue(1)).condition_tainted
+        assert not Branch(True).condition_tainted
+        assert not Branch(TaintedValue(1, tainted=False)).condition_tainted
+
+
+class TestThreadActions:
+    def test_invoke_holds_region_and_factory(self):
+        factory = lambda: iter(())
+        invoke = Invoke(("wl", "r"), factory)
+        assert invoke.region_id == ("wl", "r")
+        assert invoke.body_factory is factory
+
+    def test_think_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Think(-5)
+
+    def test_abort_op_repr(self):
+        assert "AbortOp" in repr(AbortOp())

@@ -1,0 +1,107 @@
+"""Unit tests for the side-effect-free body replay."""
+
+import pytest
+
+from repro.memory.shared import Allocator, SharedMemory
+from repro.sim.program import AbortOp, Branch, Compute, Load, Store
+from repro.sim.replay import replay_body
+
+
+def body_swap(a, b):
+    def body():
+        value_a = yield Load(a)
+        value_b = yield Load(b)
+        yield Store(a, value_b)
+        yield Store(b, value_a)
+
+    return body
+
+
+class TestReplayIsolation:
+    def test_non_commit_replay_leaves_memory_untouched(self):
+        memory = SharedMemory()
+        memory.poke(8, 1)
+        memory.poke(16, 2)
+        replay_body(body_swap(8, 16), memory, commit=False)
+        assert memory.peek(8) == 1
+        assert memory.peek(16) == 2
+
+    def test_commit_replay_applies_stores(self):
+        memory = SharedMemory()
+        memory.poke(8, 1)
+        memory.poke(16, 2)
+        replay_body(body_swap(8, 16), memory, commit=True)
+        assert memory.peek(8) == 2
+        assert memory.peek(16) == 1
+
+    def test_replay_never_counts_architectural_accesses(self):
+        memory = SharedMemory()
+        replay_body(body_swap(8, 16), memory, commit=True)
+        assert memory.load_count == 0
+        assert memory.store_count == 0
+
+    def test_store_to_load_forwarding_within_replay(self):
+        memory = SharedMemory()
+
+        def body():
+            yield Store(8, 42)
+            value = yield Load(8)
+            yield Store(16, value)
+
+        replay_body(body, memory, commit=True)
+        assert memory.peek(16) == 42
+
+
+class TestReplayObservations:
+    def test_footprint_is_line_granular(self):
+        memory = SharedMemory()
+        result = replay_body(body_swap(0, 1), memory)  # same line (words 0,1)
+        assert result.footprint == frozenset({0})
+        result = replay_body(body_swap(0, 8), memory)  # lines 0 and 1
+        assert result.footprint == frozenset({0, 1})
+
+    def test_counts(self):
+        memory = SharedMemory()
+        result = replay_body(body_swap(0, 8), memory)
+        assert result.loads == 2
+        assert result.stores == 2
+        assert result.footprint_size == 2
+
+    def test_taint_from_loaded_address(self):
+        memory = SharedMemory()
+        memory.poke(0, 64)
+
+        def body():
+            pointer = yield Load(0)
+            yield Load(pointer)
+
+        assert replay_body(body, memory).indirection_seen
+
+    def test_taint_from_branch(self):
+        memory = SharedMemory()
+
+        def body():
+            value = yield Load(0)
+            yield Branch(value)
+
+        assert replay_body(body, memory).indirection_seen
+
+    def test_compute_and_abort_ops_ignored(self):
+        memory = SharedMemory()
+
+        def body():
+            yield Compute(5)
+            yield AbortOp()
+
+        result = replay_body(body, memory)
+        assert result.footprint == frozenset()
+        assert not result.indirection_seen
+
+    def test_unknown_op_rejected(self):
+        memory = SharedMemory()
+
+        def body():
+            yield "what"
+
+        with pytest.raises(TypeError):
+            replay_body(body, memory)

@@ -1,0 +1,100 @@
+"""Unit tests for run orchestration (trimmed mean, aggregation, sweep)."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import (
+    AggregateResult,
+    run_seeds,
+    run_workload,
+    sweep_retry_threshold,
+    trimmed_mean,
+)
+from repro.workloads import make_workload
+
+
+class TestTrimmedMean:
+    def test_plain_mean_when_few_values(self):
+        assert trimmed_mean([2.0, 4.0], trim=3) == 3.0
+
+    def test_removes_three_outliers(self):
+        # 10 values as in the paper: drop 2 high + 1 low.
+        values = [1000.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 900.0, 0.0]
+        assert trimmed_mean(values, trim=3) == 5.0
+
+    def test_trim_zero_is_mean(self):
+        assert trimmed_mean([1.0, 2.0, 3.0], trim=0) == 2.0
+
+    def test_empty_is_zero(self):
+        assert trimmed_mean([], trim=3) == 0.0
+
+    def test_single_value(self):
+        assert trimmed_mean([7.0], trim=3) == 7.0
+
+
+def quick_factory(name="mwobject", ops=6):
+    return lambda: make_workload(name, ops_per_thread=ops)
+
+
+def quick_config(**overrides):
+    return SimConfig.for_letter("B", num_cores=4, **overrides)
+
+
+class TestRunWorkload:
+    def test_returns_populated_result(self):
+        result = run_workload(quick_factory(), quick_config(), seed=1)
+        assert result.cycles > 0
+        assert result.stats.total_commits == 4 * 6
+        assert result.energy.total > 0
+        assert result.workload_name == "mwobject"
+
+    def test_deterministic_for_same_seed(self):
+        first = run_workload(quick_factory(), quick_config(), seed=5)
+        second = run_workload(quick_factory(), quick_config(), seed=5)
+        assert first.cycles == second.cycles
+        assert first.stats.total_aborts == second.stats.total_aborts
+
+    def test_different_seeds_differ(self):
+        first = run_workload(quick_factory(), quick_config(), seed=1)
+        second = run_workload(quick_factory(), quick_config(), seed=2)
+        # Not guaranteed in principle, but overwhelmingly likely here.
+        assert (first.cycles, first.stats.total_aborts) != (
+            second.cycles,
+            second.stats.total_aborts,
+        )
+
+
+class TestRunSeeds:
+    def test_aggregates_over_seeds(self):
+        aggregate = run_seeds(quick_factory(), quick_config(), seeds=(1, 2, 3), trim=0)
+        assert len(aggregate.runs) == 3
+        assert aggregate.cycles > 0
+        individual = sorted(run.cycles for run in aggregate.runs)
+        assert individual[0] <= aggregate.cycles <= individual[-1]
+
+    def test_mode_shares_cover_all_modes(self):
+        aggregate = run_seeds(quick_factory(), quick_config(), seeds=(1,), trim=0)
+        shares = aggregate.commit_mode_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateResult("x", quick_config(), [])
+
+
+class TestRetrySweep:
+    def test_sweep_returns_best(self):
+        best, threshold = sweep_retry_threshold(
+            quick_factory(ops=4), quick_config(), thresholds=(1, 4), seeds=(1,), trim=0
+        )
+        assert threshold in (1, 4)
+        alternatives = [
+            run_seeds(
+                quick_factory(ops=4),
+                quick_config(retry_threshold=candidate),
+                seeds=(1,),
+                trim=0,
+            ).cycles
+            for candidate in (1, 4)
+        ]
+        assert best.cycles == min(alternatives)

@@ -1,0 +1,112 @@
+"""Unit tests for transactional read/write sets."""
+
+import pytest
+
+from repro.htm.rwset import CapacityExceeded, ReadWriteSets
+from repro.memory.shared import SharedMemory
+
+
+def unlimited():
+    return ReadWriteSets(l1_sets=None, l2_sets=None)
+
+
+class TestTracking:
+    def test_reads_and_writes_recorded(self):
+        sets = unlimited()
+        sets.record_read(1)
+        sets.record_write(2)
+        assert sets.read_set == {1}
+        assert sets.write_set == {2}
+
+    def test_duplicate_entries_collapsed(self):
+        sets = unlimited()
+        sets.record_read(1)
+        sets.record_read(1)
+        assert len(sets.read_set) == 1
+
+    def test_touched_lines_unions(self):
+        sets = unlimited()
+        sets.record_read(1)
+        sets.record_write(2)
+        assert sets.touched_lines() == {1, 2}
+
+
+class TestConflicts:
+    def test_remote_write_conflicts_with_read(self):
+        sets = unlimited()
+        sets.record_read(1)
+        assert sets.conflicts_with_write(1)
+        assert not sets.conflicts_with_read(1)
+
+    def test_remote_anything_conflicts_with_write(self):
+        sets = unlimited()
+        sets.record_write(1)
+        assert sets.conflicts_with_write(1)
+        assert sets.conflicts_with_read(1)
+
+    def test_untracked_line_no_conflict(self):
+        sets = unlimited()
+        assert not sets.conflicts_with_write(9)
+        assert not sets.conflicts_with_read(9)
+
+
+class TestCapacity:
+    def test_write_set_limited_by_l1_geometry(self):
+        sets = ReadWriteSets(l1_sets=2, l1_assoc=1, l2_sets=None, l2_assoc=None)
+        sets.record_write(0)
+        with pytest.raises(CapacityExceeded) as info:
+            sets.record_write(2)  # same L1 set (mod 2), only 1 way
+        assert info.value.which == "write"
+
+    def test_read_set_limited_by_l2_geometry(self):
+        sets = ReadWriteSets(l1_sets=None, l1_assoc=None, l2_sets=2, l2_assoc=1)
+        sets.record_read(0)
+        with pytest.raises(CapacityExceeded):
+            sets.record_read(2)
+
+    def test_write_lines_count_against_read_tracking(self):
+        sets = ReadWriteSets(l1_sets=None, l1_assoc=None, l2_sets=2, l2_assoc=1)
+        sets.record_write(0)
+        with pytest.raises(CapacityExceeded):
+            sets.record_read(2)
+
+    def test_different_sets_do_not_interfere(self):
+        sets = ReadWriteSets(l1_sets=2, l1_assoc=1, l2_sets=None, l2_assoc=None)
+        sets.record_write(0)
+        sets.record_write(1)  # other set: fine
+        assert len(sets.write_set) == 2
+
+
+class TestStoreBuffer:
+    def test_forwarding(self):
+        sets = unlimited()
+        sets.buffer_store(100, 7)
+        assert sets.forwarded_load(100) == 7
+        assert sets.forwarded_load(101) is None
+
+    def test_drain_applies_in_order(self):
+        sets = unlimited()
+        memory = SharedMemory()
+        sets.buffer_store(100, 1)
+        sets.buffer_store(100, 2)  # later store wins
+        sets.buffer_store(101, 3)
+        sets.drain_to(memory)
+        assert memory.peek(100) == 2
+        assert memory.peek(101) == 3
+        assert sets.store_buffer_entries == 0
+
+    def test_discard_clears_everything(self):
+        sets = unlimited()
+        sets.record_read(1)
+        sets.record_write(2)
+        sets.buffer_store(100, 5)
+        sets.discard()
+        assert not sets.read_set
+        assert not sets.write_set
+        assert sets.forwarded_load(100) is None
+
+    def test_written_lines_of_buffer(self):
+        sets = unlimited()
+        sets.buffer_store(0, 1)   # line 0
+        sets.buffer_store(9, 1)   # line 1
+        assert sets.written_lines_of_buffer() == {0, 1}

@@ -1,0 +1,81 @@
+"""Unit tests for SharedMemory and the bump allocator."""
+
+import pytest
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.memory.shared import Allocator, SharedMemory
+
+
+class TestSharedMemory:
+    def test_zero_initialized(self):
+        memory = SharedMemory()
+        assert memory.load(123) == 0
+
+    def test_store_then_load(self):
+        memory = SharedMemory()
+        memory.store(5, 99)
+        assert memory.load(5) == 99
+
+    def test_counts_accesses(self):
+        memory = SharedMemory()
+        memory.store(1, 1)
+        memory.load(1)
+        memory.load(2)
+        assert memory.store_count == 1
+        assert memory.load_count == 2
+
+    def test_peek_poke_do_not_count(self):
+        memory = SharedMemory()
+        memory.poke(9, 3)
+        assert memory.peek(9) == 3
+        assert memory.load_count == 0
+        assert memory.store_count == 0
+
+    def test_snapshot_is_a_copy(self):
+        memory = SharedMemory()
+        memory.poke(1, 10)
+        snap = memory.snapshot()
+        memory.poke(1, 20)
+        assert snap[1] == 10
+
+
+class TestAllocator:
+    def test_sequential_allocations_do_not_overlap(self):
+        alloc = Allocator()
+        a = alloc.alloc(10)
+        b = alloc.alloc(10)
+        assert b >= a + 10
+
+    def test_line_alignment(self):
+        alloc = Allocator()
+        alloc.alloc(3)
+        addr = alloc.alloc(4, align_line=True)
+        assert addr % WORDS_PER_LINE == 0
+
+    def test_alloc_lines_aligned_and_sized(self):
+        alloc = Allocator()
+        addr = alloc.alloc_lines(3)
+        assert addr % WORDS_PER_LINE == 0
+        next_addr = alloc.alloc(1)
+        assert next_addr >= addr + 3 * WORDS_PER_LINE
+
+    def test_zero_page_reserved(self):
+        alloc = Allocator()
+        assert alloc.alloc(1) >= WORDS_PER_LINE
+
+    def test_rejects_bad_sizes(self):
+        alloc = Allocator()
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+        with pytest.raises(ValueError):
+            alloc.alloc(-4)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            Allocator(base=0)
+
+    def test_high_water_advances(self):
+        alloc = Allocator()
+        before = alloc.high_water
+        alloc.alloc(16)
+        assert alloc.high_water >= before + 16

@@ -1,0 +1,118 @@
+"""Unit tests for the statistics surface."""
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortCategory, AbortReason
+from repro.sim.stats import MachineStats
+
+
+def stats():
+    return MachineStats(num_cores=2)
+
+
+class TestCommitAccounting:
+    def test_commit_counted_by_mode(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")
+        machine_stats.record_commit(0, ExecMode.NS_CL, 1, "r")
+        assert machine_stats.total_commits == 2
+        assert machine_stats.commits_by_mode[ExecMode.NS_CL] == 1
+
+    def test_retry_histogram_excludes_fallback(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 1, "r")
+        machine_stats.record_commit(0, ExecMode.FALLBACK, 5, "r")
+        assert machine_stats.commits_by_retries[1] == 1
+        assert 5 not in machine_stats.commits_by_retries
+        assert machine_stats.fallback_commit_retries[5] == 1
+
+    def test_mode_shares_sum_to_one(self):
+        machine_stats = stats()
+        for mode in (ExecMode.SPECULATIVE, ExecMode.S_CL, ExecMode.FALLBACK):
+            machine_stats.record_commit(0, mode, 0, "r")
+        assert abs(sum(machine_stats.commit_mode_shares().values()) - 1.0) < 1e-9
+
+
+class TestAbortAccounting:
+    def test_aborts_categorized(self):
+        machine_stats = stats()
+        machine_stats.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+        machine_stats.record_abort(0, AbortReason.NACKED, "r")
+        machine_stats.record_abort(1, AbortReason.CAPACITY, "r")
+        shares = machine_stats.abort_category_shares()
+        assert abs(shares[AbortCategory.MEMORY_CONFLICT] - 2 / 3) < 1e-9
+        assert abs(shares[AbortCategory.OTHERS] - 1 / 3) < 1e-9
+
+    def test_aborts_per_commit(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")
+        machine_stats.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+        machine_stats.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+        assert machine_stats.aborts_per_commit() == 2.0
+
+    def test_aborts_per_commit_zero_commits(self):
+        machine_stats = stats()
+        machine_stats.record_abort(0, AbortReason.MEMORY_CONFLICT, "r")
+        assert machine_stats.aborts_per_commit() == 0.0
+
+
+class TestRetryShares:
+    def test_no_retries_all_zero(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")
+        assert machine_stats.retry_shares() == (0.0, 0.0, 0.0)
+
+    def test_first_retry_share(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")  # excluded
+        machine_stats.record_commit(0, ExecMode.NS_CL, 1, "r")
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 3, "r")
+        machine_stats.record_commit(0, ExecMode.FALLBACK, 5, "r")
+        first, n_retry, fallback = machine_stats.retry_shares()
+        assert abs(first - 1 / 3) < 1e-9
+        assert abs(n_retry - 1 / 3) < 1e-9
+        assert abs(fallback - 1 / 3) < 1e-9
+
+    def test_shares_sum_to_one_when_retries_exist(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 2, "r")
+        assert abs(sum(machine_stats.retry_shares()) - 1.0) < 1e-9
+
+
+class TestCycleAccounting:
+    def test_busy_and_discovery_cycles(self):
+        machine_stats = stats()
+        machine_stats.add_busy(0, 10)
+        machine_stats.add_busy(0, 5, failed_discovery=True)
+        assert machine_stats.cores[0].busy_cycles == 15
+        assert machine_stats.cores[0].discovery_failed_cycles == 5
+        assert abs(machine_stats.discovery_time_fraction() - 5 / 15) < 1e-9
+
+    def test_discovery_fraction_zero_when_idle(self):
+        assert stats().discovery_time_fraction() == 0.0
+
+    def test_wait_cycles(self):
+        machine_stats = stats()
+        machine_stats.add_wait(1, 7)
+        assert machine_stats.cores[1].wait_cycles == 7
+
+
+class TestFig1Instrumentation:
+    def test_ratio(self):
+        machine_stats = stats()
+        machine_stats.record_first_retry(True)
+        machine_stats.record_first_retry(False)
+        machine_stats.record_first_retry(True)
+        assert abs(machine_stats.first_retry_immutable_ratio() - 2 / 3) < 1e-9
+
+    def test_ratio_without_observations(self):
+        assert stats().first_retry_immutable_ratio() == 0.0
+
+
+class TestSummary:
+    def test_summary_mentions_key_numbers(self):
+        machine_stats = stats()
+        machine_stats.record_commit(0, ExecMode.SPECULATIVE, 0, "r")
+        machine_stats.makespan_cycles = 123
+        text = machine_stats.summary()
+        assert "123" in text
+        assert "commits=1" in text

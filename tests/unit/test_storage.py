@@ -1,0 +1,48 @@
+"""Unit tests for the §5 storage-overhead accounting."""
+
+from repro.analysis.storage import StorageOverhead, storage_overhead
+from repro.sim.config import SimConfig
+
+
+class TestPaperSizing:
+    def test_indirection_bits(self):
+        overhead = storage_overhead(SimConfig())
+        assert overhead.indirection_bytes == 22.5  # 180 regs x 1 bit
+
+    def test_ert_bytes(self):
+        assert storage_overhead(SimConfig()).ert_bytes == 146.0
+
+    def test_alt_bytes(self):
+        assert storage_overhead(SimConfig()).alt_bytes == 276.0
+
+    def test_crt_bytes(self):
+        assert storage_overhead(SimConfig()).crt_bytes == 544.0
+
+    def test_total_matches_paper(self):
+        # §5: "The total storage overhead is less than 1KiB (988.5 bytes)."
+        overhead = storage_overhead(SimConfig())
+        assert overhead.total_bytes == 988.5
+        assert overhead.total_bytes < 1024
+
+
+class TestScaling:
+    def test_halving_alt_halves_its_bytes(self):
+        small = storage_overhead(SimConfig(alt_entries=16))
+        assert small.alt_bytes == 138.0
+
+    def test_bigger_ert_scales_linearly(self):
+        big = storage_overhead(SimConfig(ert_entries=32))
+        assert big.ert_bytes == 292.0
+
+    def test_rows_sum_to_total(self):
+        overhead = storage_overhead(SimConfig())
+        rows = dict(overhead.rows())
+        assert rows["total"] == overhead.total_bytes
+        assert (
+            rows["indirection bits"] + rows["ERT"] + rows["ALT"] + rows["CRT"]
+            == rows["total"]
+        )
+
+    def test_register_count_parameter(self):
+        overhead = storage_overhead(SimConfig(), physical_registers=256)
+        assert overhead.indirection_bytes == 32.0

@@ -1,0 +1,130 @@
+"""Unit tests for the workload base class and registry."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.memory.shared import Allocator, SharedMemory
+from repro.sim.program import Invoke, Think
+from repro.workloads import (
+    ALL_NAMES,
+    DATASTRUCTURE_NAMES,
+    STAMP_NAMES,
+    make_workload,
+)
+from repro.workloads.base import Mutability
+
+
+def setup_workload(name, threads=2, ops=3):
+    workload = make_workload(name, ops_per_thread=ops)
+    workload.setup(SharedMemory(), Allocator(), threads, DeterministicRng(1))
+    return workload
+
+
+class TestRegistry:
+    def test_all_nineteen_present(self):
+        assert len(ALL_NAMES) == 19
+        assert len(DATASTRUCTURE_NAMES) == 9
+        assert len(STAMP_NAMES) == 10
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("nope")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_factory_name_matches(self, name):
+        assert make_workload(name).name == name
+
+
+class TestActionStream:
+    def test_alternates_think_and_invoke(self):
+        workload = setup_workload("arrayswap", ops=2)
+        rng = DeterministicRng(2)
+        actions = [workload.next_action(0, rng) for _ in range(4)]
+        assert isinstance(actions[0], Think)
+        assert isinstance(actions[1], Invoke)
+        assert isinstance(actions[2], Think)
+        assert isinstance(actions[3], Invoke)
+
+    def test_quota_enforced(self):
+        workload = setup_workload("arrayswap", ops=2)
+        rng = DeterministicRng(2)
+        for _ in range(4):
+            assert workload.next_action(0, rng) is not None
+        assert workload.next_action(0, rng) is None
+
+    def test_threads_independent(self):
+        workload = setup_workload("arrayswap", threads=2, ops=1)
+        rng = DeterministicRng(2)
+        workload.next_action(0, rng)
+        workload.next_action(0, rng)
+        assert workload.next_action(0, rng) is None
+        assert workload.next_action(1, rng) is not None
+
+    def test_next_action_before_setup_raises(self):
+        workload = make_workload("arrayswap")
+        with pytest.raises(RuntimeError):
+            workload.next_action(0, DeterministicRng(1))
+
+
+class TestRegionSpecs:
+    # Table 1 of the paper: (#ARs, immutable, likely immutable, mutable).
+    TABLE_1 = {
+        "arrayswap": (2, 2, 0, 0),
+        "bitcoin": (1, 0, 1, 0),
+        "bst": (3, 0, 0, 3),
+        "deque": (2, 0, 1, 1),
+        "hashmap": (3, 0, 0, 3),
+        "mwobject": (1, 1, 0, 0),
+        "queue": (2, 0, 1, 1),
+        "stack": (2, 0, 1, 1),
+        "sorted-list": (3, 1, 0, 2),
+        "bayes": (14, 0, 5, 9),
+        "genome": (5, 0, 0, 5),
+        "intruder": (3, 0, 2, 1),
+        "kmeans-h": (3, 1, 2, 0),
+        "kmeans-l": (3, 1, 2, 0),
+        "labyrinth": (3, 0, 0, 3),
+        "ssca2": (3, 2, 1, 0),
+        "vacation-h": (3, 0, 1, 2),
+        "vacation-l": (3, 0, 1, 2),
+        "yada": (6, 1, 0, 5),
+    }
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_declared_specs_match_table_1(self, name):
+        workload = make_workload(name)
+        specs = workload.region_specs()
+        counts = {m: 0 for m in Mutability}
+        for spec in specs:
+            counts[spec.mutability] += 1
+        expected = self.TABLE_1[name]
+        assert (
+            len(specs),
+            counts[Mutability.IMMUTABLE],
+            counts[Mutability.LIKELY_IMMUTABLE],
+            counts[Mutability.MUTABLE],
+        ) == expected
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_region_names_unique(self, name):
+        specs = make_workload(name).region_specs()
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names)
+
+    def test_spec_by_name(self):
+        workload = make_workload("bitcoin")
+        assert workload.spec_by_name("transfer").mutability is Mutability.LIKELY_IMMUTABLE
+        with pytest.raises(KeyError):
+            workload.spec_by_name("missing")
+
+
+class TestInvocations:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_invocations_name_declared_regions(self, name):
+        workload = setup_workload(name, threads=2, ops=50)
+        declared = {spec.name for spec in workload.region_specs()}
+        rng = DeterministicRng(3)
+        for _ in range(40):
+            invocation = workload.make_invocation(0, rng)
+            assert invocation.region_id[0] == name
+            assert invocation.region_id[1] in declared

@@ -1,0 +1,182 @@
+"""Behavioural tests for the data-structure benchmarks (single-threaded
+semantics via the characterization probe)."""
+
+from repro.analysis.characterize import probe_body
+from repro.common.rng import DeterministicRng
+from repro.memory.shared import Allocator, SharedMemory
+from repro.workloads import make_workload
+
+
+def setup(name, **kwargs):
+    workload = make_workload(name, **kwargs)
+    memory = SharedMemory()
+    workload.setup(memory, Allocator(), num_threads=2, rng=DeterministicRng(1))
+    return workload, memory
+
+
+def run_invocations(workload, memory, count, seed=9):
+    rng = DeterministicRng(seed)
+    for _ in range(count):
+        invocation = workload.make_invocation(0, rng)
+        probe_body(invocation.body_factory, memory, commit=True)
+
+
+class TestArraySwap:
+    def test_swaps_preserve_multiset(self):
+        workload, memory = setup("arrayswap", ops_per_thread=50)
+        before = sorted(
+            memory.peek(workload._slot(i)) for i in range(workload.num_elements)
+        )
+        run_invocations(workload, memory, 50)
+        after = sorted(
+            memory.peek(workload._slot(i)) for i in range(workload.num_elements)
+        )
+        assert before == after
+
+    def test_bodies_are_untainted(self):
+        workload, memory = setup("arrayswap")
+        rng = DeterministicRng(2)
+        for _ in range(10):
+            invocation = workload.make_invocation(0, rng)
+            result = probe_body(invocation.body_factory, memory, commit=True)
+            assert not result.indirection_seen
+
+
+class TestBitcoin:
+    def test_balance_conserved(self):
+        workload, memory = setup("bitcoin", ops_per_thread=50)
+        initial = workload.total_balance(memory)
+        run_invocations(workload, memory, 50)
+        assert workload.total_balance(memory) == initial
+
+    def test_transfer_is_tainted_but_stable(self):
+        workload, memory = setup("bitcoin")
+        invocation = workload.make_invocation(0, DeterministicRng(2))
+        first = probe_body(invocation.body_factory, memory, commit=False)
+        second = probe_body(invocation.body_factory, memory, commit=False)
+        assert first.indirection_seen
+        assert first.footprint == second.footprint  # likely immutable
+
+
+class TestMwObject:
+    def test_four_fields_updated(self):
+        workload, memory = setup("mwobject", ops_per_thread=10)
+        run_invocations(workload, memory, 10)
+        assert all(value == 10 for value in workload.field_values(memory))
+
+    def test_single_line_footprint(self):
+        workload, memory = setup("mwobject")
+        invocation = workload.make_invocation(0, DeterministicRng(2))
+        result = probe_body(invocation.body_factory, memory)
+        assert result.footprint_size == 1
+
+
+class TestBst:
+    def test_inserts_are_findable(self):
+        workload, memory = setup("bst", ops_per_thread=100)
+        run_invocations(workload, memory, 100)
+        workload.inorder_keys(memory)  # raises on property violation
+
+    def test_insert_body_adds_key(self):
+        workload, memory = setup("bst", initial_keys=0, ops_per_thread=5)
+        node = workload._fresh_node(0, 42)
+        probe_body(workload._insert_body(42, node), memory, commit=True)
+        assert 42 in workload.inorder_keys(memory)
+
+    def test_remove_leaf(self):
+        workload, memory = setup("bst", initial_keys=0, ops_per_thread=5)
+        for key in (10, 5):
+            node = workload._fresh_node(0, key)
+            probe_body(workload._insert_body(key, node), memory, commit=True)
+        probe_body(workload._remove_body(5), memory, commit=True)
+        assert workload.inorder_keys(memory) == [10]
+
+    def test_remove_two_children_successor_swap(self):
+        workload, memory = setup("bst", initial_keys=0, ops_per_thread=8)
+        for key in (10, 5, 15, 12, 20):
+            node = workload._fresh_node(0, key)
+            probe_body(workload._insert_body(key, node), memory, commit=True)
+        probe_body(workload._remove_body(10), memory, commit=True)
+        assert workload.inorder_keys(memory) == [5, 12, 15, 20]
+
+    def test_remove_root_with_one_child(self):
+        workload, memory = setup("bst", initial_keys=0, ops_per_thread=8)
+        for key in (10, 5):
+            node = workload._fresh_node(0, key)
+            probe_body(workload._insert_body(key, node), memory, commit=True)
+        probe_body(workload._remove_body(10), memory, commit=True)
+        assert workload.inorder_keys(memory) == [5]
+
+    def test_traversal_tainted(self):
+        workload, memory = setup("bst")
+        result = probe_body(workload._contains_body(1, None), memory)
+        assert result.indirection_seen
+
+
+class TestHashmap:
+    def test_chains_stay_consistent(self):
+        workload, memory = setup("hashmap", ops_per_thread=100)
+        run_invocations(workload, memory, 100)
+        for bucket in range(workload.num_buckets):
+            workload.chain_keys(memory, bucket)
+
+    def test_put_then_remove(self):
+        workload, memory = setup("hashmap", initial_keys=0, ops_per_thread=5)
+        node = workload._fresh_node(0, 7, 70)
+        probe_body(workload._put_body(7, 70, node), memory, commit=True)
+        assert 7 in workload.chain_keys(memory, 7 % workload.num_buckets)
+        probe_body(workload._remove_body(7), memory, commit=True)
+        assert 7 not in workload.chain_keys(memory, 7 % workload.num_buckets)
+
+    def test_put_updates_existing(self):
+        workload, memory = setup("hashmap", initial_keys=0, ops_per_thread=5)
+        node_a = workload._fresh_node(0, 7, 70)
+        probe_body(workload._put_body(7, 70, node_a), memory, commit=True)
+        node_b = workload._fresh_node(0, 7, 71)
+        probe_body(workload._put_body(7, 71, node_b), memory, commit=True)
+        bucket = 7 % workload.num_buckets
+        assert workload.chain_keys(memory, bucket).count(7) == 1
+
+
+class TestRings:
+    def test_queue_fifo_order_preserved(self):
+        workload, memory = setup("queue", ops_per_thread=60)
+        run_invocations(workload, memory, 60)
+        assert workload.size(memory) >= 0
+
+    def test_stack_depth_never_negative(self):
+        workload, memory = setup("stack", ops_per_thread=60)
+        run_invocations(workload, memory, 60)
+        assert workload.depth(memory) >= 0
+
+    def test_deque_size_never_negative(self):
+        workload, memory = setup("deque", ops_per_thread=60)
+        run_invocations(workload, memory, 60)
+        assert workload.size(memory) >= 0
+
+    def test_empty_pop_is_noop(self):
+        workload, memory = setup("stack", ops_per_thread=5)
+        memory.poke(workload.top_addr, 0)
+        probe_body(workload._pop_body(), memory, commit=True)
+        assert workload.depth(memory) == 0
+
+
+class TestSortedList:
+    def test_stays_sorted_under_churn(self):
+        workload, memory = setup("sorted-list", ops_per_thread=80)
+        run_invocations(workload, memory, 80)
+        workload.values_in_order(memory)
+
+    def test_insert_positions_value(self):
+        workload, memory = setup("sorted-list", initial_length=0, ops_per_thread=5)
+        for value in (5, 1, 3):
+            node = workload._fresh_node(0, value)
+            probe_body(workload._insert_body(value, node), memory, commit=True)
+        assert workload.values_in_order(memory) == [1, 3, 5]
+
+    def test_stats_region_untainted(self):
+        workload, memory = setup("sorted-list")
+        from repro.workloads.patterns import counter_increment
+
+        result = probe_body(counter_increment(workload.stats_addr), memory)
+        assert not result.indirection_seen

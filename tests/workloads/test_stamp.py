@@ -1,0 +1,134 @@
+"""Behavioural tests for the synthetic STAMP kernels."""
+
+import pytest
+
+from repro.analysis.characterize import probe_body
+from repro.common.rng import DeterministicRng
+from repro.memory.shared import Allocator, SharedMemory
+from repro.workloads import STAMP_NAMES, make_workload
+from repro.workloads.base import Mutability
+from repro.workloads.stamp.synthetic import (
+    StampRegionSpec,
+    SyntheticStampWorkload,
+)
+
+
+def setup(name, **kwargs):
+    workload = make_workload(name, **kwargs)
+    memory = SharedMemory()
+    workload.setup(memory, Allocator(), num_threads=2, rng=DeterministicRng(1))
+    return workload, memory
+
+
+class TestSyntheticMachinery:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StampRegionSpec("x", "teleport")
+
+    def test_needs_regions(self):
+        with pytest.raises(ValueError):
+            SyntheticStampWorkload([])
+
+    def test_kind_mutability_mapping(self):
+        assert StampRegionSpec("a", "counter").mutability is Mutability.IMMUTABLE
+        assert StampRegionSpec("a", "indirect").mutability is Mutability.LIKELY_IMMUTABLE
+        assert StampRegionSpec("a", "traverse").mutability is Mutability.MUTABLE
+
+    def test_weighted_selection_respects_weights(self):
+        regions = [
+            StampRegionSpec("heavy", "counter", weight=100.0),
+            StampRegionSpec("light", "counter", weight=0.0001),
+        ]
+        workload = SyntheticStampWorkload(regions, ops_per_thread=10)
+        memory = SharedMemory()
+        workload.setup(memory, Allocator(), 1, DeterministicRng(1))
+        rng = DeterministicRng(5)
+        picks = [workload.make_invocation(0, rng).region_id[1] for _ in range(50)]
+        assert picks.count("heavy") >= 45
+
+
+class TestBodiesExecute:
+    @pytest.mark.parametrize("name", STAMP_NAMES)
+    def test_every_region_body_runs(self, name):
+        workload, memory = setup(name, ops_per_thread=100)
+        rng = DeterministicRng(4)
+        seen = set()
+        for _ in range(300):
+            invocation = workload.make_invocation(0, rng)
+            result = probe_body(invocation.body_factory, memory, commit=True)
+            assert result.footprint_size >= 1
+            seen.add(invocation.region_id[1])
+            if seen == {spec.name for spec in workload.region_specs()}:
+                break
+        assert seen == {spec.name for spec in workload.region_specs()}
+
+
+class TestFootprintScales:
+    def test_labyrinth_regions_exceed_alt(self):
+        # Labyrinth's paths must overflow the 32-entry ALT to reproduce
+        # its fallback-heavy behaviour.
+        workload, memory = setup("labyrinth", ops_per_thread=10)
+        rng = DeterministicRng(4)
+        sizes = []
+        for _ in range(20):
+            invocation = workload.make_invocation(0, rng)
+            result = probe_body(invocation.body_factory, memory, commit=True)
+            sizes.append(result.footprint_size)
+        assert max(sizes) > 32
+
+    def test_kmeans_regions_are_tiny(self):
+        workload, memory = setup("kmeans-h", ops_per_thread=10)
+        rng = DeterministicRng(4)
+        for _ in range(20):
+            invocation = workload.make_invocation(0, rng)
+            result = probe_body(invocation.body_factory, memory, commit=True)
+            assert result.footprint_size <= 4
+
+    def test_dynamic_scatter_mutates_between_commits(self):
+        workload, memory = setup("yada", ops_per_thread=10)
+        rng = DeterministicRng(4)
+        for _ in range(50):
+            invocation = workload.make_invocation(0, rng)
+            if invocation.region_id[1] == "cavity_expand":
+                first = probe_body(invocation.body_factory, memory, commit=True)
+                second = probe_body(invocation.body_factory, memory, commit=True)
+                assert first.footprint != second.footprint
+                return
+        pytest.fail("never drew cavity_expand")
+
+
+class TestTaintClasses:
+    @pytest.mark.parametrize("name", STAMP_NAMES)
+    def test_immutable_regions_never_tainted(self, name):
+        workload, memory = setup(name, ops_per_thread=50)
+        immutable = {
+            spec.name
+            for spec in workload.region_specs()
+            if spec.mutability is Mutability.IMMUTABLE
+        }
+        if not immutable:
+            pytest.skip("no immutable regions in {}".format(name))
+        rng = DeterministicRng(4)
+        checked = 0
+        for _ in range(200):
+            invocation = workload.make_invocation(0, rng)
+            if invocation.region_id[1] in immutable:
+                result = probe_body(invocation.body_factory, memory, commit=True)
+                assert not result.indirection_seen
+                checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("name", STAMP_NAMES)
+    def test_non_immutable_regions_are_tainted(self, name):
+        workload, memory = setup(name, ops_per_thread=50)
+        tainted_expected = {
+            spec.name
+            for spec in workload.region_specs()
+            if spec.mutability is not Mutability.IMMUTABLE
+        }
+        rng = DeterministicRng(4)
+        for _ in range(200):
+            invocation = workload.make_invocation(0, rng)
+            if invocation.region_id[1] in tainted_expected:
+                result = probe_body(invocation.body_factory, memory, commit=True)
+                assert result.indirection_seen
