@@ -1,15 +1,21 @@
 """Shared infrastructure for the figure-regeneration benchmarks.
 
 Every figure projects the same (benchmark x configuration) matrix, so
-the matrix is simulated once per pytest session and cached.
+the matrix is simulated once per pytest session and cached. The build
+goes through the experiment engine, so it fans out over worker
+processes and can memoize cells on disk.
 
-Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+Environment knobs:
 
-- ``quick`` (default): 8 cores, 3 seeds, fixed retry threshold — every
-  figure regenerates in a couple of minutes on a laptop.
-- ``paper``: 32 cores, 10 seeds, trimmed mean removing 3 outliers, and
-  the per-application best-of-1..10 retry sweep, as in the paper's
-  methodology (§6). Expect hours.
+- ``REPRO_BENCH_SCALE``: ``quick`` (default; 8 cores, 3 seeds, fixed
+  retry threshold — every figure regenerates in a couple of minutes on
+  a laptop) or ``paper`` (32 cores, 10 seeds, trimmed mean removing 3
+  outliers, and the per-application best-of-1..10 retry sweep, as in
+  the paper's methodology (§6); hours serially).
+- ``REPRO_BENCH_JOBS``: worker processes for the matrix build
+  (default: all cores; ``1`` forces the serial path).
+- ``REPRO_BENCH_CACHE_DIR``: enables the on-disk result cache at the
+  given root (default: disabled, so benchmark runs stay hermetic).
 """
 
 import os
@@ -31,6 +37,10 @@ def bench_settings():
     )
 
 
+def bench_jobs():
+    return int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+
+
 @pytest.fixture(scope="session")
 def settings():
     return bench_settings()
@@ -38,5 +48,9 @@ def settings():
 
 @pytest.fixture(scope="session")
 def matrix(settings):
-    """The full simulation matrix, built once per session."""
-    return run_config_matrix(settings)
+    """The full simulation matrix, built once per session via the engine."""
+    return run_config_matrix(
+        settings,
+        jobs=bench_jobs(),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+    )

@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Run the full experiment matrix and dump every figure's data to JSON.
 
-Used to populate EXPERIMENTS.md. Scale is chosen via argv[1]:
-``quick`` (8 cores), ``medium`` (32 cores, 3 seeds — the default), or
-``paper`` (32 cores, 10 seeds, retry sweep; hours).
+Used to populate EXPERIMENTS.md. Scale is chosen via the positional
+argument: ``quick`` (8 cores), ``medium`` (32 cores, 3 seeds — the
+default), ``sweep`` (reduced retry sweep), or ``paper`` (32 cores, 10
+seeds, retry sweep; hours serially).
+
+The matrix fans out over worker processes (``--jobs``, default: all
+cores) and memoizes finished cells in a content-addressed on-disk
+cache (``--cache-dir``, default ``.exp_cache``), so re-runs and
+crashed sweeps resume for free; ``--no-cache`` forces fresh
+simulation. Figure JSON is byte-identical (modulo ``elapsed_seconds``)
+whatever the job count, because every cell is independently seeded.
 """
 
+import argparse
 import json
+import os
 import sys
 import time
 
@@ -23,6 +33,7 @@ from repro.analysis.experiments import (
     headline_summary,
     run_config_matrix,
 )
+from repro.sim.engine import DEFAULT_CACHE_DIR
 
 
 def settings_for(scale):
@@ -42,26 +53,81 @@ def settings_for(scale):
     return ExperimentSettings.quick()
 
 
-def main():
-    scale = sys.argv[1] if len(sys.argv) > 1 else "medium"
-    out_path = sys.argv[2] if len(sys.argv) > 2 else ".exp_results.json"
-    settings = settings_for(scale)
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scale", nargs="?", default="medium",
+        choices=("quick", "medium", "sweep", "paper", "micro"),
+        help="experiment scale (default: medium)",
+    )
+    parser.add_argument(
+        "out", nargs="?", default=".exp_results.json",
+        help="output JSON path (default: .exp_results.json)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="on-disk result cache root (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache entirely",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="A,B,...",
+        help="comma-separated benchmark subset (default: all 19)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1, not {}".format(args.jobs))
+    if args.benchmarks:
+        from repro.workloads import ALL_NAMES
+
+        unknown = set(args.benchmarks.split(",")) - set(ALL_NAMES)
+        if unknown:
+            parser.error("unknown benchmark(s) {}; choose from {}".format(
+                ",".join(sorted(unknown)), ",".join(ALL_NAMES)))
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    settings = settings_for(args.scale)
+    if args.benchmarks:
+        settings.benchmarks = tuple(args.benchmarks.split(","))
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    cache_dir = None if args.no_cache else args.cache_dir
     started = time.time()
+
+    def engine_progress(event):
+        print(
+            "\r[{:>4}/{}] {:5.1f} cells/s  {} cache hit(s)  ETA {:4.0f}s ".format(
+                event.done, event.total, event.cells_per_second,
+                event.cache_hits, event.eta_seconds,
+            ),
+            end="", flush=True,
+        )
 
     def progress(name, letter, aggregate):
         print(
-            "{:>7.1f}s  {:12s} {}  cycles={:,.0f}  a/c={:.2f}".format(
+            "\r{:>7.1f}s  {:12s} {}  cycles={:,.0f}  a/c={:.2f}".format(
                 time.time() - started, name, letter,
                 aggregate.cycles, aggregate.aborts_per_commit,
             ),
             flush=True,
         )
 
-    matrix = run_config_matrix(settings, progress=progress)
+    matrix = run_config_matrix(
+        settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
+        engine_progress=engine_progress,
+    )
 
     times, discovery = fig8_execution_time(matrix)
     payload = {
-        "scale": scale,
+        "scale": args.scale,
         "num_cores": settings.num_cores,
         "seeds": list(settings.seeds),
         "fig1": fig1_retry_immutability(matrix),
@@ -90,9 +156,12 @@ def main():
         "headline": headline_summary(matrix),
         "elapsed_seconds": time.time() - started,
     }
-    with open(out_path, "w") as handle:
+    with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=1)
-    print("wrote {} after {:.0f}s".format(out_path, payload["elapsed_seconds"]))
+    print("wrote {} after {:.0f}s ({} jobs, cache {})".format(
+        args.out, payload["elapsed_seconds"], jobs,
+        cache_dir or "disabled",
+    ))
 
 
 if __name__ == "__main__":

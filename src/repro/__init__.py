@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.core.modes import ExecMode
 from repro.sim.config import SimConfig
+from repro.sim.engine import ExperimentEngine, RunSpec, run_specs
 from repro.sim.machine import Machine
 from repro.sim.runner import (
     AggregateResult,
@@ -42,6 +43,9 @@ __all__ = [
     "Machine",
     "AggregateResult",
     "RunResult",
+    "RunSpec",
+    "ExperimentEngine",
+    "run_specs",
     "run_seeds",
     "run_workload",
     "sweep_retry_threshold",

@@ -14,7 +14,8 @@ from repro.core.modes import ExecMode
 from repro.htm.abort import AbortCategory
 from repro.analysis.report import geometric_mean
 from repro.sim.config import SimConfig
-from repro.sim.runner import run_seeds, sweep_retry_threshold
+from repro.sim.engine import ExperimentEngine, RunSpec
+from repro.sim.runner import AggregateResult, select_best_threshold
 from repro.workloads import ALL_NAMES, make_workload
 
 CONFIG_LETTERS = ("B", "P", "C", "W")
@@ -68,30 +69,74 @@ class ExperimentSettings:
         """Factory building a fresh scaled workload instance."""
         return lambda: make_workload(name, ops_per_thread=self.ops_per_thread)
 
+    def cell_thresholds(self):
+        """Retry thresholds simulated per cell (one unless sweeping)."""
+        if self.retry_sweep:
+            return self.sweep_thresholds
+        return (self.retry_threshold,)
 
-def run_config_matrix(settings=None, progress=None):
+    def expand_specs(self):
+        """The flat engine job list covering the whole matrix.
+
+        Ordered benchmark-major, then configuration letter, then retry
+        threshold, then seed — the order :func:`run_config_matrix`
+        regroups results in.
+        """
+        return [
+            RunSpec(
+                workload=name,
+                config=self.config_for(letter).replaced(
+                    retry_threshold=threshold
+                ),
+                seed=seed,
+                ops_per_thread=self.ops_per_thread,
+            )
+            for name in self.benchmarks
+            for letter in CONFIG_LETTERS
+            for threshold in self.cell_thresholds()
+            for seed in self.seeds
+        ]
+
+
+def run_config_matrix(settings=None, progress=None, *, jobs=1,
+                      cache_dir=None, engine=None, engine_progress=None):
     """Simulate every (benchmark, configuration) pair.
 
     Returns {benchmark: {letter: AggregateResult}}. With
     ``settings.retry_sweep`` the per-application best retry threshold is
     selected exactly as in the paper ("best of 1 to 10 retries").
+
+    The matrix is expanded into independent (workload, config, seed)
+    cells and dispatched through the experiment engine: ``jobs`` worker
+    processes (1 = strictly serial, ``None`` = all cores) with optional
+    on-disk memoization under ``cache_dir``. Pass a pre-built
+    ``engine`` to share a cache/pool across calls; ``engine_progress``
+    receives per-cell :class:`~repro.sim.engine.ProgressEvent` updates,
+    while ``progress(name, letter, aggregate)`` still fires once per
+    aggregated matrix cell.
     """
     settings = settings or ExperimentSettings.quick()
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
+                                  progress=engine_progress)
+    results = engine.run_specs(settings.expand_specs())
+
+    thresholds = settings.cell_thresholds()
+    seeds_per_threshold = len(settings.seeds)
     matrix = {}
+    offset = 0
     for name in settings.benchmarks:
         matrix[name] = {}
         for letter in CONFIG_LETTERS:
-            factory = settings.workload_factory(name)
-            config = settings.config_for(letter)
-            if settings.retry_sweep:
-                aggregate, _ = sweep_retry_threshold(
-                    factory, config, thresholds=settings.sweep_thresholds,
-                    seeds=settings.seeds, trim=settings.trim,
+            aggregates = {}
+            for threshold in thresholds:
+                runs = results[offset:offset + seeds_per_threshold]
+                aggregates[threshold] = AggregateResult(
+                    runs[0].workload_name, runs[0].config, runs,
+                    settings.trim,
                 )
-            else:
-                aggregate = run_seeds(
-                    factory, config, seeds=settings.seeds, trim=settings.trim
-                )
+                offset += seeds_per_threshold
+            aggregate, _ = select_best_threshold(aggregates)
             matrix[name][letter] = aggregate
             if progress is not None:
                 progress(name, letter, aggregate)

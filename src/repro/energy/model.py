@@ -31,6 +31,15 @@ class EnergyBreakdown:
         """Static plus dynamic energy."""
         return self.static + self.dynamic
 
+    def to_dict(self):
+        """The decomposition as a JSON-serializable dict."""
+        return {"static": self.static, "dynamic": self.dynamic}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(static=data["static"], dynamic=data["dynamic"])
+
     def __repr__(self):
         return "EnergyBreakdown(static={:.1f}, dynamic={:.1f})".format(
             self.static, self.dynamic

@@ -11,9 +11,13 @@
   event loop.
 - :mod:`repro.sim.runner` — multi-seed runs with the paper's trimmed
   mean, and the retry-threshold design-space sweep.
+- :mod:`repro.sim.engine` — the parallel, cached experiment engine
+  fanning independent (workload, config, seed) cells over worker
+  processes with content-addressed on-disk memoization.
 """
 
 from repro.sim.config import SimConfig, HtmPolicy
+from repro.sim.engine import DiskCache, ExperimentEngine, ProgressEvent, RunSpec, run_specs
 from repro.sim.program import Load, Store, Compute, Branch, AbortOp, Invoke, Think
 from repro.sim.stats import MachineStats, CoreStats
 from repro.sim.machine import Machine
@@ -22,6 +26,11 @@ from repro.sim.runner import run_workload, run_seeds, RunResult, AggregateResult
 __all__ = [
     "SimConfig",
     "HtmPolicy",
+    "DiskCache",
+    "ExperimentEngine",
+    "ProgressEvent",
+    "RunSpec",
+    "run_specs",
     "Load",
     "Store",
     "Compute",

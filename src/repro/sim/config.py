@@ -10,9 +10,18 @@ P           True                False
 C           False               True
 W           True                True
 ========== =================== =============
+
+:class:`SimConfig` is a frozen dataclass: every field is declared
+exactly once, and ``replaced()``/``to_dict()``/``from_dict()``/
+``fingerprint()`` are all derived from :func:`dataclasses.fields`, so
+adding a knob is a one-line change that automatically flows into
+copying, serialization, and the experiment cache key.
 """
 
+import dataclasses
 import enum
+import hashlib
+import json
 
 from repro.common.errors import ConfigurationError
 
@@ -24,6 +33,7 @@ class HtmPolicy(enum.Enum):
     POWER_TM = "power_tm"
 
 
+@dataclasses.dataclass(frozen=True)
 class SimConfig:
     """All machine and policy parameters of a simulation.
 
@@ -33,109 +43,77 @@ class SimConfig:
     retry threshold before the fallback lock.
     """
 
-    def __init__(
-        self,
-        num_cores=32,
-        # -- caches and memory (Table 2) --
-        l1_size=48 * 1024,
-        l1_assoc=12,
-        l2_size=512 * 1024,
-        l2_assoc=8,
-        l3_size=4 * 1024 * 1024,
-        l3_assoc=16,
-        l1_latency=1,
-        l2_latency=10,
-        l3_latency=45,
-        mem_latency=80,
-        directory_sets=4096,
-        # -- core speculative window (Table 2) --
-        rob_entries=352,
-        lq_entries=128,
-        sq_entries=72,
-        # -- speculation substrate --
-        # "htm": TSX-like out-of-core speculation (§4.2/§4.4); the SQ is
-        #        the only in-core limit on failed-mode discovery.
-        # "sle": in-core speculation (§4.1/§4.3); every speculative
-        #        attempt is bounded by the ROB/LQ/SQ window.
-        speculation="htm",
-        # -- HTM policy --
-        retry_threshold=5,
-        powertm=False,
-        backoff_base=8,
-        backoff_max_exponent=6,
-        # -- CLEAR --
-        clear=False,
-        ert_entries=16,
-        alt_entries=32,
-        crt_entries=64,
-        crt_assoc=8,
-        # Ablation knobs (paper defaults first):
-        # §4.4.2 discusses locking only the write set plus previously
-        # conflicting reads ("writes", the paper's choice) versus all
-        # accessed addresses ("all") in S-CL.
-        scl_lock_policy="writes",
-        # §4.1: on a conflict, keep discovering in failed mode instead
-        # of aborting immediately.
-        failed_mode_discovery=True,
-        # §5: the Conflicting Reads Table feeding S-CL lock promotion.
-        crt_enabled=True,
-        # -- transaction overheads (cycles) --
-        tx_begin_cycles=30,
-        tx_commit_cycles=25,
-        tx_abort_cycles=50,
-        lock_release_cycles=4,
-        # -- run control --
-        max_cycles=60_000_000,
-    ):
-        if num_cores <= 0:
+    num_cores: int = 32
+    # -- caches and memory (Table 2) --
+    l1_size: int = 48 * 1024
+    l1_assoc: int = 12
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 8
+    l3_size: int = 4 * 1024 * 1024
+    l3_assoc: int = 16
+    l1_latency: int = 1
+    l2_latency: int = 10
+    l3_latency: int = 45
+    mem_latency: int = 80
+    directory_sets: int = 4096
+    # -- core speculative window (Table 2) --
+    rob_entries: int = 352
+    lq_entries: int = 128
+    sq_entries: int = 72
+    # -- speculation substrate --
+    # "htm": TSX-like out-of-core speculation (§4.2/§4.4); the SQ is
+    #        the only in-core limit on failed-mode discovery.
+    # "sle": in-core speculation (§4.1/§4.3); every speculative
+    #        attempt is bounded by the ROB/LQ/SQ window.
+    speculation: str = "htm"
+    # -- HTM policy --
+    retry_threshold: int = 5
+    powertm: bool = False
+    backoff_base: int = 8
+    backoff_max_exponent: int = 6
+    # -- CLEAR --
+    clear: bool = False
+    ert_entries: int = 16
+    alt_entries: int = 32
+    crt_entries: int = 64
+    crt_assoc: int = 8
+    # Ablation knobs (paper defaults first):
+    # §4.4.2 discusses locking only the write set plus previously
+    # conflicting reads ("writes", the paper's choice) versus all
+    # accessed addresses ("all") in S-CL.
+    scl_lock_policy: str = "writes"
+    # §4.1: on a conflict, keep discovering in failed mode instead
+    # of aborting immediately.
+    failed_mode_discovery: bool = True
+    # §5: the Conflicting Reads Table feeding S-CL lock promotion.
+    crt_enabled: bool = True
+    # -- transaction overheads (cycles) --
+    tx_begin_cycles: int = 30
+    tx_commit_cycles: int = 25
+    tx_abort_cycles: int = 50
+    lock_release_cycles: int = 4
+    # -- run control --
+    max_cycles: int = 60_000_000
+
+    def __post_init__(self):
+        if self.num_cores <= 0:
             raise ConfigurationError("need at least one core")
-        if retry_threshold < 1:
+        if self.retry_threshold < 1:
             raise ConfigurationError("retry threshold must be >= 1")
-        if alt_entries < 1 or ert_entries < 1:
+        if self.alt_entries < 1 or self.ert_entries < 1:
             raise ConfigurationError("CLEAR tables need at least one entry")
-        if speculation not in ("htm", "sle"):
+        if self.speculation not in ("htm", "sle"):
             raise ConfigurationError(
-                "speculation must be 'htm' or 'sle', not {!r}".format(speculation)
-            )
-        if scl_lock_policy not in ("writes", "all"):
-            raise ConfigurationError(
-                "scl_lock_policy must be 'writes' or 'all', not {!r}".format(
-                    scl_lock_policy
+                "speculation must be 'htm' or 'sle', not {!r}".format(
+                    self.speculation
                 )
             )
-        self.num_cores = num_cores
-        self.l1_size = l1_size
-        self.l1_assoc = l1_assoc
-        self.l2_size = l2_size
-        self.l2_assoc = l2_assoc
-        self.l3_size = l3_size
-        self.l3_assoc = l3_assoc
-        self.l1_latency = l1_latency
-        self.l2_latency = l2_latency
-        self.l3_latency = l3_latency
-        self.mem_latency = mem_latency
-        self.directory_sets = directory_sets
-        self.speculation = speculation
-        self.rob_entries = rob_entries
-        self.lq_entries = lq_entries
-        self.sq_entries = sq_entries
-        self.retry_threshold = retry_threshold
-        self.powertm = powertm
-        self.backoff_base = backoff_base
-        self.backoff_max_exponent = backoff_max_exponent
-        self.clear = clear
-        self.ert_entries = ert_entries
-        self.alt_entries = alt_entries
-        self.crt_entries = crt_entries
-        self.crt_assoc = crt_assoc
-        self.scl_lock_policy = scl_lock_policy
-        self.failed_mode_discovery = failed_mode_discovery
-        self.crt_enabled = crt_enabled
-        self.tx_begin_cycles = tx_begin_cycles
-        self.tx_commit_cycles = tx_commit_cycles
-        self.tx_abort_cycles = tx_abort_cycles
-        self.lock_release_cycles = lock_release_cycles
-        self.max_cycles = max_cycles
+        if self.scl_lock_policy not in ("writes", "all"):
+            raise ConfigurationError(
+                "scl_lock_policy must be 'writes' or 'all', not {!r}".format(
+                    self.scl_lock_policy
+                )
+            )
 
     @property
     def htm_policy(self):
@@ -151,43 +129,41 @@ class SimConfig:
 
     def replaced(self, **overrides):
         """A copy of this configuration with some fields replaced."""
-        fields = dict(
-            num_cores=self.num_cores,
-            l1_size=self.l1_size,
-            l1_assoc=self.l1_assoc,
-            l2_size=self.l2_size,
-            l2_assoc=self.l2_assoc,
-            l3_size=self.l3_size,
-            l3_assoc=self.l3_assoc,
-            l1_latency=self.l1_latency,
-            l2_latency=self.l2_latency,
-            l3_latency=self.l3_latency,
-            mem_latency=self.mem_latency,
-            directory_sets=self.directory_sets,
-            speculation=self.speculation,
-            rob_entries=self.rob_entries,
-            lq_entries=self.lq_entries,
-            sq_entries=self.sq_entries,
-            retry_threshold=self.retry_threshold,
-            powertm=self.powertm,
-            backoff_base=self.backoff_base,
-            backoff_max_exponent=self.backoff_max_exponent,
-            clear=self.clear,
-            ert_entries=self.ert_entries,
-            alt_entries=self.alt_entries,
-            crt_entries=self.crt_entries,
-            crt_assoc=self.crt_assoc,
-            scl_lock_policy=self.scl_lock_policy,
-            failed_mode_discovery=self.failed_mode_discovery,
-            crt_enabled=self.crt_enabled,
-            tx_begin_cycles=self.tx_begin_cycles,
-            tx_commit_cycles=self.tx_commit_cycles,
-            tx_abort_cycles=self.tx_abort_cycles,
-            lock_release_cycles=self.lock_release_cycles,
-            max_cycles=self.max_cycles,
-        )
-        fields.update(overrides)
-        return SimConfig(**fields)
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self):
+        """All fields as a JSON-serializable dict (field-name keyed)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigurationError` rather than being
+        silently dropped, so stale cache entries or hand-edited configs
+        fail loudly.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                "unknown SimConfig fields: {}".format(sorted(unknown))
+            )
+        return cls(**data)
+
+    def fingerprint(self):
+        """SHA-256 hex digest of the full configuration.
+
+        Canonical (sorted-key, compact) JSON over every declared field;
+        two configs share a fingerprint iff all fields are equal. Used
+        as the configuration component of the experiment cache key.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def for_letter(cls, letter, **overrides):

@@ -1,0 +1,265 @@
+"""Parallel, cached experiment engine.
+
+Every simulated cell of the evaluation — one (workload, configuration,
+seed) triple — is independent and fully deterministic, so the whole
+19-benchmark × 4-configuration × 10-seed matrix (plus the per-
+application retry-threshold sweep) is embarrassingly parallel and
+perfectly memoizable. This module provides the fan-out-and-aggregate
+machinery everything above it builds on:
+
+- :class:`RunSpec` — one picklable, hashable cell description.
+- :class:`DiskCache` — a content-addressed on-disk result store keyed
+  by SHA-256 over (schema version, workload, ops_per_thread, seed,
+  config fingerprint); re-runs and crashed sweeps resume for free.
+- :class:`ExperimentEngine` — expands specs, serves what it can from
+  the cache, fans the misses out over a ``ProcessPoolExecutor``
+  (``jobs=1`` degenerates to a strictly serial in-process loop so
+  determinism tests can compare parallel vs. serial output
+  bit-for-bit), and streams :class:`ProgressEvent` updates to a
+  callback.
+
+Results cross the process boundary (and the cache) as the
+``RunResult.to_dict()`` JSON form; the engine reconstructs
+:class:`~repro.sim.runner.RunResult` objects on the way out. The
+inline ``jobs=1`` path round-trips through the same representation, so
+serial, parallel, and cached runs are indistinguishable downstream.
+"""
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import RunResult, run_workload
+from repro.workloads import make_workload
+
+#: Bump when the cached result format (or anything influencing a run's
+#: output) changes; every key embeds it, so old entries simply miss.
+SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".exp_cache"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation cell: (workload, config, seed).
+
+    ``ops_per_thread`` scales the named workload; ``None`` keeps the
+    workload's own default. The spec is hashable and picklable, so it
+    can cross process boundaries and key dictionaries.
+    """
+
+    workload: str
+    config: SimConfig
+    seed: int
+    ops_per_thread: int = None
+
+    def cache_key(self):
+        """Content address of this cell's result.
+
+        SHA-256 over canonical JSON of every input that determines the
+        output, including :data:`SCHEMA_VERSION` so format bumps
+        invalidate the whole cache without touching files.
+        """
+        payload = json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "workload": self.workload,
+                "ops_per_thread": self.ops_per_thread,
+                "seed": self.seed,
+                "config": self.config.fingerprint(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def execute_spec(spec):
+    """Simulate one spec and return the result in dict (cache) form.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; also the
+    ``jobs=1`` inline path, so every run takes the identical code path.
+    """
+    kwargs = {}
+    if spec.ops_per_thread is not None:
+        kwargs["ops_per_thread"] = spec.ops_per_thread
+    result = run_workload(
+        lambda: make_workload(spec.workload, **kwargs),
+        spec.config,
+        seed=spec.seed,
+    )
+    return result.to_dict()
+
+
+class DiskCache:
+    """Content-addressed JSON store under one root directory.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps any
+    single directory small). Writes are atomic (temp file + rename), so
+    a crashed run never leaves a truncated entry; corrupt or unreadable
+    entries read as misses and are overwritten on the next store.
+    """
+
+    def __init__(self, root):
+        self.root = root
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def load(self, key):
+        """The stored dict for ``key``, or None on miss/corruption."""
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload["result"]
+
+    def store(self, key, result, spec=None):
+        """Atomically persist ``result`` (a RunResult dict) under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"schema_version": SCHEMA_VERSION, "result": result}
+        if spec is not None:
+            payload["spec"] = {
+                "workload": spec.workload,
+                "ops_per_thread": spec.ops_per_thread,
+                "seed": spec.seed,
+                "config": spec.config.to_dict(),
+            }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=os.path.dirname(path), suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+@dataclasses.dataclass
+class ProgressEvent:
+    """One structured progress update, emitted after every finished cell."""
+
+    done: int
+    total: int
+    cache_hits: int
+    elapsed_seconds: float
+    spec: RunSpec
+    from_cache: bool
+
+    @property
+    def cells_per_second(self):
+        """Completion throughput so far (cache hits included)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.done / self.elapsed_seconds
+
+    @property
+    def eta_seconds(self):
+        """Naive remaining-time estimate from current throughput."""
+        rate = self.cells_per_second
+        if rate <= 0.0:
+            return 0.0
+        return (self.total - self.done) / rate
+
+
+class ExperimentEngine:
+    """Runs batches of :class:`RunSpec` cells, parallel and memoized.
+
+    ``jobs``      — worker processes; ``None`` means ``os.cpu_count()``
+                    and ``1`` is a strictly serial in-process loop.
+    ``cache_dir`` — root of the on-disk cache; ``None`` disables
+                    caching entirely.
+    ``progress``  — optional callback receiving a :class:`ProgressEvent`
+                    after every finished cell (hit or simulated).
+    """
+
+    def __init__(self, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None):
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1, not {}".format(self.jobs))
+        self.cache = DiskCache(cache_dir) if cache_dir else None
+        self.progress = progress
+
+    def run_specs(self, specs):
+        """Simulate (or recall) every spec; results in spec order."""
+        specs = list(specs)
+        started = time.monotonic()
+        total = len(specs)
+        done = 0
+        cache_hits = 0
+        result_dicts = [None] * total
+
+        def emit(index, from_cache):
+            if self.progress is None:
+                return
+            self.progress(ProgressEvent(
+                done=done,
+                total=total,
+                cache_hits=cache_hits,
+                elapsed_seconds=time.monotonic() - started,
+                spec=specs[index],
+                from_cache=from_cache,
+            ))
+
+        keys = [spec.cache_key() for spec in specs]
+        misses = []
+        for index, key in enumerate(keys):
+            cached = self.cache.load(key) if self.cache else None
+            if cached is not None:
+                result_dicts[index] = cached
+                done += 1
+                cache_hits += 1
+                emit(index, from_cache=True)
+            else:
+                misses.append(index)
+
+        if misses and self.jobs == 1:
+            for index in misses:
+                result_dicts[index] = execute_spec(specs[index])
+                if self.cache:
+                    self.cache.store(keys[index], result_dicts[index],
+                                     specs[index])
+                done += 1
+                emit(index, from_cache=False)
+        elif misses:
+            workers = min(self.jobs, len(misses))
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {
+                    pool.submit(execute_spec, specs[index]): index
+                    for index in misses
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index = futures[future]
+                    result_dicts[index] = future.result()
+                    if self.cache:
+                        self.cache.store(keys[index], result_dicts[index],
+                                         specs[index])
+                    done += 1
+                    emit(index, from_cache=False)
+
+        return [RunResult.from_dict(result) for result in result_dicts]
+
+    def run_spec(self, spec):
+        """Convenience single-cell entry point."""
+        return self.run_specs([spec])[0]
+
+
+def run_specs(specs, *, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None):
+    """One-shot functional entry point over a throwaway engine."""
+    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
+                              progress=progress)
+    return engine.run_specs(specs)

@@ -4,19 +4,36 @@ The paper executes every application "10 times with different seeds and
 the trimmed mean is used to remove 3 outliers"; :func:`trimmed_mean`
 implements that (dropping the 2 highest and 1 lowest by default when
 removing 3), and :func:`run_seeds` wires it to the simulator.
+
+:class:`RunResult` and :class:`AggregateResult` round-trip losslessly
+through ``to_dict()``/``from_dict()``; the experiment engine's on-disk
+cache (:mod:`repro.sim.engine`) stores exactly that representation.
 """
 
+import warnings
+
 from repro.core.modes import ExecMode
-from repro.energy.model import EnergyModel
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
+from repro.sim.stats import MachineStats
 
 
 def trimmed_mean(values, trim=3):
     """Mean after removing ``trim`` outliers (⌈trim/2⌉ high, ⌊trim/2⌋ low).
 
-    Falls back to a plain mean when too few values remain.
+    Falls back to a plain mean when too few values remain — and warns
+    when it does, because a silently un-trimmed mean at low seed counts
+    is easy to mistake for the paper's methodology.
     """
     ordered = sorted(values)
+    if trim >= 1 and 0 < len(ordered) <= trim:
+        warnings.warn(
+            "trimmed_mean: only {} value(s) with trim={}; returning the "
+            "plain (un-trimmed) mean".format(len(ordered), trim),
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if len(ordered) > trim >= 1:
         drop_high = (trim + 1) // 2
         drop_low = trim // 2
@@ -45,6 +62,27 @@ class RunResult:
     def aborts_per_commit(self):
         """Fig. 9 metric for this run/aggregate."""
         return self.stats.aborts_per_commit()
+
+    def to_dict(self):
+        """The full run as a JSON-serializable dict (cache format)."""
+        return {
+            "workload_name": self.workload_name,
+            "config": self.config.to_dict(),
+            "seed": self.seed,
+            "stats": self.stats.to_dict(),
+            "energy": self.energy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a run from :meth:`to_dict` output."""
+        return cls(
+            workload_name=data["workload_name"],
+            config=SimConfig.from_dict(data["config"]),
+            seed=data["seed"],
+            stats=MachineStats.from_dict(data["stats"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+        )
 
     def __repr__(self):
         return "RunResult({}, {}, seed={}, cycles={})".format(
@@ -122,8 +160,27 @@ class AggregateResult:
         """Fig. 1 ratio."""
         return self._metric(lambda run: run.stats.first_retry_immutable_ratio())
 
+    def to_dict(self):
+        """The aggregate (config, trim, every run) as a JSON dict."""
+        return {
+            "workload_name": self.workload_name,
+            "config": self.config.to_dict(),
+            "trim": self.trim,
+            "runs": [run.to_dict() for run in self.runs],
+        }
 
-def run_workload(workload_factory, config, seed=1, energy_model=None):
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an aggregate from :meth:`to_dict` output."""
+        return cls(
+            workload_name=data["workload_name"],
+            config=SimConfig.from_dict(data["config"]),
+            runs=[RunResult.from_dict(run) for run in data["runs"]],
+            trim=data["trim"],
+        )
+
+
+def run_workload(workload_factory, config, *, seed=1, energy_model=None):
     """Simulate one (workload, config, seed) and return a RunResult."""
     workload = workload_factory()
     machine = Machine(config, workload, seed)
@@ -133,30 +190,76 @@ def run_workload(workload_factory, config, seed=1, energy_model=None):
     return RunResult(workload.name, config, seed, stats, energy)
 
 
-def run_seeds(workload_factory, config, seeds=range(1, 11), trim=3, energy_model=None):
+def run_seeds(workload_factory, config, *, seeds=range(1, 11), trim=3,
+              energy_model=None):
     """Simulate several seeds and aggregate with the paper's trimmed mean."""
     runs = [
-        run_workload(workload_factory, config, seed, energy_model) for seed in seeds
+        run_workload(workload_factory, config, seed=seed,
+                     energy_model=energy_model)
+        for seed in seeds
     ]
     return AggregateResult(runs[0].workload_name, config, runs, trim)
 
 
-def sweep_retry_threshold(workload_factory, config, thresholds=range(1, 11),
-                          seeds=(1, 2, 3), trim=0):
+def select_best_threshold(aggregates_by_threshold):
+    """Pick the best (by mean cycles) entry of a threshold -> aggregate map.
+
+    Iterates in mapping order; ties keep the earliest threshold, which
+    preserves the historical sweep behaviour of preferring the lowest
+    tied threshold.
+    """
+    best = None
+    best_threshold = None
+    for threshold, candidate in aggregates_by_threshold.items():
+        if best is None or candidate.cycles < best.cycles:
+            best = candidate
+            best_threshold = threshold
+    return best, best_threshold
+
+
+def sweep_retry_threshold(workload, config, thresholds=range(1, 11),
+                          seeds=(1, 2, 3), trim=0, *, ops_per_thread=None,
+                          engine=None):
     """Design-space exploration: best retry threshold per application.
 
     The paper runs "from 1 to 10 retries for all benchmarks and selects
     the best-performing one in each case". Returns the best aggregate
     (by mean cycles) and the threshold that produced it.
+
+    ``workload`` is either a zero-argument factory (runs inline,
+    in-process) or a benchmark name from the registry, in which case the
+    sweep fans out through the experiment engine — parallel and cached
+    when ``engine`` is configured that way (``ops_per_thread`` scales
+    the named workload; ``None`` keeps its default).
     """
-    best = None
-    best_threshold = None
-    for threshold in thresholds:
-        candidate = run_seeds(
-            workload_factory, config.replaced(retry_threshold=threshold),
-            seeds=seeds, trim=trim,
+    if callable(workload):
+        aggregates = {
+            threshold: run_seeds(
+                workload, config.replaced(retry_threshold=threshold),
+                seeds=seeds, trim=trim,
+            )
+            for threshold in thresholds
+        }
+        return select_best_threshold(aggregates)
+
+    # Imported lazily: the engine module imports this one.
+    from repro.sim.engine import ExperimentEngine, RunSpec
+
+    engine = engine or ExperimentEngine(jobs=1, cache_dir=None)
+    thresholds = tuple(thresholds)
+    seeds = tuple(seeds)
+    specs = [
+        RunSpec(workload=workload,
+                config=config.replaced(retry_threshold=threshold),
+                seed=seed, ops_per_thread=ops_per_thread)
+        for threshold in thresholds
+        for seed in seeds
+    ]
+    results = engine.run_specs(specs)
+    aggregates = {}
+    for index, threshold in enumerate(thresholds):
+        runs = results[index * len(seeds):(index + 1) * len(seeds)]
+        aggregates[threshold] = AggregateResult(
+            runs[0].workload_name, runs[0].config, runs, trim
         )
-        if best is None or candidate.cycles < best.cycles:
-            best = candidate
-            best_threshold = threshold
-    return best, best_threshold
+    return select_best_threshold(aggregates)

@@ -15,7 +15,21 @@ paper's metrics:
 from collections import Counter
 
 from repro.core.modes import ExecMode
-from repro.htm.abort import categorize_abort
+from repro.htm.abort import AbortCategory, AbortReason, categorize_abort
+
+
+def _region_key_to_list(region_id):
+    """JSON-safe form of a region id (tuples become lists)."""
+    if isinstance(region_id, tuple):
+        return list(region_id)
+    return region_id
+
+
+def _region_key_from_list(region_id):
+    """Inverse of :func:`_region_key_to_list`."""
+    if isinstance(region_id, list):
+        return tuple(region_id)
+    return region_id
 
 
 class CoreStats:
@@ -31,6 +45,18 @@ class CoreStats:
         self.lock_acquire_cycles = 0
         self.commits = 0
         self.aborts = 0
+
+    def to_dict(self):
+        """All counters as a JSON-serializable dict."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild per-core counters from :meth:`to_dict` output."""
+        stats = cls()
+        for slot in cls.__slots__:
+            setattr(stats, slot, data[slot])
+        return stats
 
 
 class MachineStats:
@@ -184,6 +210,101 @@ class MachineStats:
         if self.first_retry_observations == 0:
             return 0.0
         return self.first_retry_immutable_small / self.first_retry_observations
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self):
+        """The full measurement surface as a JSON-serializable dict.
+
+        Enum-keyed counters are stored by enum ``value``; integer-keyed
+        retry counters are stored with stringified keys (JSON objects
+        only key on strings); tuple region ids become two-element lists.
+        :meth:`from_dict` inverts all of it losslessly.
+        """
+        return {
+            "num_cores": self.num_cores,
+            "cores": [core.to_dict() for core in self.cores],
+            "commits_by_mode": {
+                mode.value: count for mode, count in self.commits_by_mode.items()
+            },
+            "commits_by_retries": {
+                str(retries): count
+                for retries, count in self.commits_by_retries.items()
+            },
+            "fallback_commit_retries": {
+                str(retries): count
+                for retries, count in self.fallback_commit_retries.items()
+            },
+            "aborts_by_reason": {
+                reason.value: count
+                for reason, count in self.aborts_by_reason.items()
+            },
+            "aborts_by_category": {
+                category.value: count
+                for category, count in self.aborts_by_category.items()
+            },
+            "per_region_commits": [
+                [_region_key_to_list(region), count]
+                for region, count in self.per_region_commits.items()
+            ],
+            "per_region_aborts": [
+                [_region_key_to_list(region), count]
+                for region, count in self.per_region_aborts.items()
+            ],
+            "accesses_by_level": dict(self.accesses_by_level),
+            "compute_ops": self.compute_ops,
+            "branch_ops": self.branch_ops,
+            "tx_begins": self.tx_begins,
+            "line_locks_acquired": self.line_locks_acquired,
+            "first_retry_observations": self.first_retry_observations,
+            "first_retry_immutable_small": self.first_retry_immutable_small,
+            "makespan_cycles": self.makespan_cycles,
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`MachineStats` from :meth:`to_dict` output."""
+        stats = cls(data["num_cores"])
+        stats.cores = [CoreStats.from_dict(core) for core in data["cores"]]
+        stats.commits_by_mode = Counter(
+            {ExecMode(mode): count
+             for mode, count in data["commits_by_mode"].items()}
+        )
+        stats.commits_by_retries = Counter(
+            {int(retries): count
+             for retries, count in data["commits_by_retries"].items()}
+        )
+        stats.fallback_commit_retries = Counter(
+            {int(retries): count
+             for retries, count in data["fallback_commit_retries"].items()}
+        )
+        stats.aborts_by_reason = Counter(
+            {AbortReason(reason): count
+             for reason, count in data["aborts_by_reason"].items()}
+        )
+        stats.aborts_by_category = Counter(
+            {AbortCategory(category): count
+             for category, count in data["aborts_by_category"].items()}
+        )
+        stats.per_region_commits = Counter(
+            {_region_key_from_list(region): count
+             for region, count in data["per_region_commits"]}
+        )
+        stats.per_region_aborts = Counter(
+            {_region_key_from_list(region): count
+             for region, count in data["per_region_aborts"]}
+        )
+        stats.accesses_by_level = Counter(data["accesses_by_level"])
+        stats.compute_ops = data["compute_ops"]
+        stats.branch_ops = data["branch_ops"]
+        stats.tx_begins = data["tx_begins"]
+        stats.line_locks_acquired = data["line_locks_acquired"]
+        stats.first_retry_observations = data["first_retry_observations"]
+        stats.first_retry_immutable_small = data["first_retry_immutable_small"]
+        stats.makespan_cycles = data["makespan_cycles"]
+        stats.truncated = data["truncated"]
+        return stats
 
     def summary(self):
         """Human-readable one-line digest (used by examples)."""

@@ -1,0 +1,66 @@
+"""Parallel execution must be bit-for-bit identical to serial.
+
+Every (workload, config, seed) cell is independently seeded, so the
+``jobs=N`` pool and the ``jobs=1`` serial loop must produce exactly the
+same results — the acceptance bar for trusting parallel sweeps.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings, run_config_matrix
+from repro.sim.config import SimConfig
+from repro.sim.engine import ExperimentEngine, RunSpec
+
+
+def spec_grid():
+    """2 workloads x B/C x 2 seeds, small enough for CI."""
+    return [
+        RunSpec(
+            workload=name,
+            config=SimConfig.for_letter(letter, num_cores=2),
+            seed=seed,
+            ops_per_thread=4,
+        )
+        for name in ("mwobject", "bst")
+        for letter in ("B", "C")
+        for seed in (1, 2)
+    ]
+
+
+class TestParallelEqualsSerial:
+    def test_engine_results_identical(self):
+        specs = spec_grid()
+        serial = ExperimentEngine(jobs=1, cache_dir=None).run_specs(specs)
+        parallel = ExperimentEngine(jobs=2, cache_dir=None).run_specs(specs)
+        for serial_run, parallel_run in zip(serial, parallel):
+            assert serial_run.to_dict() == parallel_run.to_dict()
+
+    def test_matrix_projection_identical(self):
+        settings = ExperimentSettings(
+            benchmarks=("mwobject", "bst"), num_cores=2, ops_per_thread=4,
+            seeds=(1, 2), trim=0,
+        )
+        serial = run_config_matrix(settings, jobs=1)
+        parallel = run_config_matrix(settings, jobs=2)
+        for name in serial:
+            for letter in serial[name]:
+                one = serial[name][letter]
+                other = parallel[name][letter]
+                assert json.dumps(one.to_dict(), sort_keys=True) == json.dumps(
+                    other.to_dict(), sort_keys=True
+                )
+                assert one.cycles == other.cycles
+                assert one.energy == other.energy
+
+    def test_cached_rerun_identical_to_fresh(self, tmp_path):
+        specs = spec_grid()
+        fresh = ExperimentEngine(jobs=1, cache_dir=None).run_specs(specs)
+        ExperimentEngine(jobs=2, cache_dir=str(tmp_path)).run_specs(specs)
+        events = []
+        cached = ExperimentEngine(jobs=2, cache_dir=str(tmp_path),
+                                  progress=events.append).run_specs(specs)
+        assert all(event.from_cache for event in events)
+        for fresh_run, cached_run in zip(fresh, cached):
+            assert fresh_run.to_dict() == cached_run.to_dict()

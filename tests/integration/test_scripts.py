@@ -12,6 +12,7 @@ class TestExperimentPipeline:
     def test_run_then_render(self, tmp_path, monkeypatch):
         json_path = tmp_path / "results.json"
         md_path = tmp_path / "EXPERIMENTS.md"
+        cache_dir = tmp_path / "cache"
         # A micro scale is not exposed via argv, so monkeypatch through
         # the module API instead of the CLI for the run step.
         sys.path.insert(0, str(SCRIPTS))
@@ -25,13 +26,16 @@ class TestExperimentPipeline:
                     seeds=(1,),
                 ),
             )
-            monkeypatch.setattr(sys, "argv",
-                                ["run_experiments.py", "micro", str(json_path)])
-            run_experiments.main()
+            run_experiments.main(
+                ["micro", str(json_path), "--jobs", "1",
+                 "--cache-dir", str(cache_dir)]
+            )
         finally:
             sys.path.remove(str(SCRIPTS))
         data = json.loads(json_path.read_text())
         assert "headline" in data and "fig8_times" in data
+        # The run populated the content-addressed cache.
+        assert list(cache_dir.rglob("*.json"))
 
         result = subprocess.run(
             [sys.executable, str(SCRIPTS / "render_experiments.py"),
@@ -43,3 +47,54 @@ class TestExperimentPipeline:
         assert "# EXPERIMENTS" in text
         assert "Fig. 8" in text
         assert "mwobject" in text
+
+    def test_rerun_from_cache_is_identical(self, tmp_path, monkeypatch):
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        cache_dir = tmp_path / "cache"
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(
+                run_experiments, "settings_for",
+                lambda scale: run_experiments.ExperimentSettings(
+                    benchmarks=("mwobject",), num_cores=2, ops_per_thread=3,
+                    seeds=(1, 2),
+                ),
+            )
+            for out in (cold_path, warm_path):
+                run_experiments.main(
+                    ["micro", str(out), "--jobs", "1",
+                     "--cache-dir", str(cache_dir)]
+                )
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        cold.pop("elapsed_seconds")
+        warm.pop("elapsed_seconds")
+        assert cold == warm
+
+    def test_no_cache_flag_skips_cache_dir(self, tmp_path, monkeypatch):
+        json_path = tmp_path / "results.json"
+        cache_dir = tmp_path / "cache"
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(
+                run_experiments, "settings_for",
+                lambda scale: run_experiments.ExperimentSettings(
+                    benchmarks=("mwobject",), num_cores=2, ops_per_thread=3,
+                    seeds=(1,),
+                ),
+            )
+            run_experiments.main(
+                ["micro", str(json_path), "--jobs", "1", "--no-cache",
+                 "--cache-dir", str(cache_dir)]
+            )
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        assert json_path.exists()
+        assert not cache_dir.exists()

@@ -14,13 +14,34 @@ from repro.workloads import make_workload
 
 
 class TestTrimmedMean:
-    def test_plain_mean_when_few_values(self):
-        assert trimmed_mean([2.0, 4.0], trim=3) == 3.0
+    def test_plain_mean_when_few_values_warns(self):
+        # Too few values to trim: falls back to a plain mean, loudly.
+        with pytest.warns(RuntimeWarning, match="un-trimmed"):
+            assert trimmed_mean([2.0, 4.0], trim=3) == 3.0
 
     def test_removes_three_outliers(self):
         # 10 values as in the paper: drop 2 high + 1 low.
         values = [1000.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 900.0, 0.0]
         assert trimmed_mean(values, trim=3) == 5.0
+
+    def test_paper_settings_pin_drop_2_high_1_low(self):
+        # Regression pin at the paper's exact shape (10 seeds, trim=3):
+        # sorted 0..9 must drop {8, 9} high and {0} low -> mean(1..7).
+        values = [9.0, 0.0, 3.0, 7.0, 1.0, 5.0, 8.0, 2.0, 6.0, 4.0]
+        assert trimmed_mean(values, trim=3) == 4.0
+
+    def test_exact_ten_values_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trimmed_mean([float(v) for v in range(10)], trim=3)
+
+    def test_boundary_equal_counts_warn(self):
+        # len(values) == trim is the silent un-trim the paper settings
+        # never hit; it must be flagged.
+        with pytest.warns(RuntimeWarning, match="3 value"):
+            assert trimmed_mean([1.0, 2.0, 3.0], trim=3) == 2.0
 
     def test_trim_zero_is_mean(self):
         assert trimmed_mean([1.0, 2.0, 3.0], trim=0) == 2.0
@@ -29,7 +50,8 @@ class TestTrimmedMean:
         assert trimmed_mean([], trim=3) == 0.0
 
     def test_single_value(self):
-        assert trimmed_mean([7.0], trim=3) == 7.0
+        with pytest.warns(RuntimeWarning):
+            assert trimmed_mean([7.0], trim=3) == 7.0
 
 
 def quick_factory(name="mwobject", ops=6):
@@ -82,6 +104,16 @@ class TestRunSeeds:
             AggregateResult("x", quick_config(), [])
 
 
+class TestKeywordOnlyParams:
+    def test_run_workload_rejects_positional_seed(self):
+        with pytest.raises(TypeError):
+            run_workload(quick_factory(), quick_config(), 1)
+
+    def test_run_seeds_rejects_positional_seeds(self):
+        with pytest.raises(TypeError):
+            run_seeds(quick_factory(), quick_config(), (1, 2))
+
+
 class TestRetrySweep:
     def test_sweep_returns_best(self):
         best, threshold = sweep_retry_threshold(
@@ -98,3 +130,18 @@ class TestRetrySweep:
             for candidate in (1, 4)
         ]
         assert best.cycles == min(alternatives)
+
+    def test_named_workload_sweeps_through_engine(self):
+        # The engine path (workload given by name) must agree with the
+        # legacy factory path cell for cell.
+        by_factory = sweep_retry_threshold(
+            quick_factory(ops=4), quick_config(), thresholds=(1, 4),
+            seeds=(1,), trim=0,
+        )
+        by_name = sweep_retry_threshold(
+            "mwobject", quick_config(), thresholds=(1, 4), seeds=(1,),
+            trim=0, ops_per_thread=4,
+        )
+        assert by_factory[1] == by_name[1]
+        assert by_factory[0].cycles == by_name[0].cycles
+        assert by_factory[0].to_dict() == by_name[0].to_dict()
