@@ -80,9 +80,29 @@ def parse_args(argv):
         "--benchmarks", default=None, metavar="A,B,...",
         help="comma-separated benchmark subset (default: all 19)",
     )
+    parser.add_argument(
+        "--chaos", nargs="?", type=float, const=0.05, default=None,
+        metavar="RATE",
+        help="inject seeded faults: spurious aborts at RATE (default "
+             "0.05 when given bare), capacity aborts at RATE/2, plus "
+             "latency jitter and delayed wakeups",
+    )
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="run the serializability/leak/invariant oracles on every cell",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell; hung cells are retried then "
+             "quarantined and the sweep degrades to a partial matrix",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1, not {}".format(args.jobs))
+    if args.chaos is not None and not 0.0 <= args.chaos <= 1.0:
+        parser.error("--chaos RATE must be in [0, 1], not {}".format(args.chaos))
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be positive")
     if args.benchmarks:
         from repro.workloads import ALL_NAMES
 
@@ -98,6 +118,15 @@ def main(argv=None):
     settings = settings_for(args.scale)
     if args.benchmarks:
         settings.benchmarks = tuple(args.benchmarks.split(","))
+    if args.chaos is not None:
+        settings.config_overrides.update(
+            fault_spurious_rate=args.chaos,
+            fault_capacity_rate=args.chaos / 2.0,
+            fault_jitter_cycles=4,
+            fault_wakeup_delay_cycles=8,
+        )
+    if args.oracle:
+        settings.config_overrides["oracle"] = True
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache_dir = None if args.no_cache else args.cache_dir
     started = time.time()
@@ -120,10 +149,18 @@ def main(argv=None):
             flush=True,
         )
 
-    matrix = run_config_matrix(
-        settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
-        engine_progress=engine_progress,
-    )
+    report = None
+    if args.cell_timeout is not None:
+        matrix, report = run_config_matrix(
+            settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
+            engine_progress=engine_progress, cell_timeout=args.cell_timeout,
+            allow_partial=True,
+        )
+    else:
+        matrix = run_config_matrix(
+            settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
+            engine_progress=engine_progress,
+        )
 
     times, discovery = fig8_execution_time(matrix)
     payload = {
@@ -156,12 +193,26 @@ def main(argv=None):
         "headline": headline_summary(matrix),
         "elapsed_seconds": time.time() - started,
     }
+    if args.chaos is not None:
+        payload["chaos"] = {
+            "fault_spurious_rate": args.chaos,
+            "fault_capacity_rate": args.chaos / 2.0,
+        }
+    # Only a sweep that actually lost cells carries a failure report, so
+    # a clean run's JSON stays byte-identical to one from a build
+    # without the fault-tolerance machinery.
+    if report is not None and report.failures:
+        payload["failures"] = report.failure_report()
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=1)
     print("wrote {} after {:.0f}s ({} jobs, cache {})".format(
         args.out, payload["elapsed_seconds"], jobs,
         cache_dir or "disabled",
     ))
+    if report is not None and report.failures:
+        print("WARNING: {} of {} cells failed; matrix is partial "
+              "(see \"failures\" in {})".format(
+                  len(report.failures), report.total, args.out))
 
 
 if __name__ == "__main__":

@@ -23,7 +23,9 @@ Quickstart::
 from repro.core.modes import ExecMode
 from repro.sim.config import SimConfig
 from repro.sim.engine import ExperimentEngine, RunSpec, run_specs
+from repro.sim.faults import FaultPlan
 from repro.sim.machine import Machine
+from repro.sim.oracle import RuntimeOracle
 from repro.sim.runner import (
     AggregateResult,
     RunResult,
@@ -45,6 +47,8 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "ExperimentEngine",
+    "FaultPlan",
+    "RuntimeOracle",
     "run_specs",
     "run_seeds",
     "run_workload",

@@ -32,7 +32,7 @@ class ExperimentSettings:
 
     def __init__(self, benchmarks=ALL_NAMES, num_cores=8, ops_per_thread=12,
                  seeds=(1, 2, 3), trim=0, retry_threshold=5, retry_sweep=False,
-                 sweep_thresholds=(1, 2, 4, 6, 8, 10)):
+                 sweep_thresholds=(1, 2, 4, 6, 8, 10), config_overrides=None):
         self.benchmarks = tuple(benchmarks)
         self.num_cores = num_cores
         self.ops_per_thread = ops_per_thread
@@ -41,6 +41,10 @@ class ExperimentSettings:
         self.retry_threshold = retry_threshold
         self.retry_sweep = retry_sweep
         self.sweep_thresholds = tuple(sweep_thresholds)
+        # Extra SimConfig fields applied to every configuration — how
+        # chaos/oracle runs reuse the whole harness (e.g.
+        # {"fault_spurious_rate": 0.05, "oracle": True}).
+        self.config_overrides = dict(config_overrides or {})
 
     @classmethod
     def quick(cls, benchmarks=ALL_NAMES):
@@ -62,7 +66,9 @@ class ExperimentSettings:
     def config_for(self, letter):
         """SimConfig for one of the B/P/C/W configurations."""
         return SimConfig.for_letter(
-            letter, num_cores=self.num_cores, retry_threshold=self.retry_threshold
+            letter, num_cores=self.num_cores,
+            retry_threshold=self.retry_threshold,
+            **self.config_overrides
         )
 
     def workload_factory(self, name):
@@ -99,7 +105,8 @@ class ExperimentSettings:
 
 
 def run_config_matrix(settings=None, progress=None, *, jobs=1,
-                      cache_dir=None, engine=None, engine_progress=None):
+                      cache_dir=None, engine=None, engine_progress=None,
+                      cell_timeout=None, allow_partial=False):
     """Simulate every (benchmark, configuration) pair.
 
     Returns {benchmark: {letter: AggregateResult}}. With
@@ -114,32 +121,56 @@ def run_config_matrix(settings=None, progress=None, *, jobs=1,
     receives per-cell :class:`~repro.sim.engine.ProgressEvent` updates,
     while ``progress(name, letter, aggregate)`` still fires once per
     aggregated matrix cell.
+
+    ``cell_timeout`` bounds each cell's wall-clock time (see
+    :class:`~repro.sim.engine.ExperimentEngine`). With
+    ``allow_partial=True`` the return value becomes ``(matrix,
+    report)``: failed cells no longer raise; instead any benchmark
+    missing data for *any* configuration is dropped from the matrix
+    (every figure normalizes across B/P/C/W, so a partial row would be
+    misleading) and the :class:`~repro.sim.engine.SweepReport` says
+    exactly what failed and why.
     """
     settings = settings or ExperimentSettings.quick()
     if engine is None:
         engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
-                                  progress=engine_progress)
-    results = engine.run_specs(settings.expand_specs())
+                                  progress=engine_progress,
+                                  cell_timeout=cell_timeout)
+    specs = settings.expand_specs()
+    report = None
+    if allow_partial:
+        report = engine.run_specs_report(specs)
+        results = report.results
+    else:
+        results = engine.run_specs(specs)
 
     thresholds = settings.cell_thresholds()
     seeds_per_threshold = len(settings.seeds)
     matrix = {}
     offset = 0
     for name in settings.benchmarks:
-        matrix[name] = {}
+        per_config = {}
         for letter in CONFIG_LETTERS:
             aggregates = {}
             for threshold in thresholds:
                 runs = results[offset:offset + seeds_per_threshold]
+                offset += seeds_per_threshold
+                if any(run is None for run in runs):
+                    continue  # this threshold lost a seed to a failure
                 aggregates[threshold] = AggregateResult(
                     runs[0].workload_name, runs[0].config, runs,
                     settings.trim,
                 )
-                offset += seeds_per_threshold
+            if not aggregates:
+                continue
             aggregate, _ = select_best_threshold(aggregates)
-            matrix[name][letter] = aggregate
+            per_config[letter] = aggregate
             if progress is not None:
                 progress(name, letter, aggregate)
+        if len(per_config) == len(CONFIG_LETTERS):
+            matrix[name] = per_config
+    if allow_partial:
+        return matrix, report
     return matrix
 
 
@@ -221,18 +252,33 @@ def fig10_energy(matrix):
     return rows
 
 
+#: The four categories Fig. 11 of the paper stacks. Categories outside
+#: this set (e.g. the chaos layer's ``Injected``) only appear in a row
+#: when their share is nonzero, so fault-free figure output is
+#: byte-identical to a build without the chaos layer.
+FIG11_PAPER_CATEGORIES = (
+    AbortCategory.MEMORY_CONFLICT,
+    AbortCategory.EXPLICIT_FALLBACK,
+    AbortCategory.OTHER_FALLBACK,
+    AbortCategory.OTHERS,
+)
+
+
 def fig11_abort_breakdown(matrix):
     """Fig. 11: abort shares by category per benchmark and config."""
-    categories = [category for category in AbortCategory]
     rows = {}
     for name, per_config in matrix.items():
-        rows[name] = {
-            letter: {
-                category: per_config[letter].abort_category_shares().get(category, 0.0)
-                for category in categories
+        rows[name] = {}
+        for letter in CONFIG_LETTERS:
+            shares = per_config[letter].abort_category_shares()
+            row = {
+                category: shares.get(category, 0.0)
+                for category in FIG11_PAPER_CATEGORIES
             }
-            for letter in CONFIG_LETTERS
-        }
+            for category in AbortCategory:
+                if category not in row and shares.get(category, 0.0) > 0.0:
+                    row[category] = shares[category]
+            rows[name][letter] = row
     return rows
 
 

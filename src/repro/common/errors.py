@@ -15,3 +15,57 @@ class SimulationError(ReproError):
 
 class ProtocolError(SimulationError):
     """A coherence or locking protocol invariant was violated."""
+
+
+class SimulationStallError(SimulationError):
+    """The machine stopped making forward progress.
+
+    Base class for the three distinguishable stall outcomes (deadlock,
+    livelock, cycle-limit exhaustion). ``diagnostic`` is a structured,
+    JSON-serializable dump taken at trip time — per-core phase/mode,
+    held locks, retry counters, ALT/ERT state, fallback and power-token
+    holders — and ``stats`` carries the partial
+    :class:`repro.sim.stats.MachineStats` accumulated so far.
+    """
+
+    def __init__(self, message, diagnostic=None, stats=None):
+        super().__init__(message)
+        self.diagnostic = diagnostic if diagnostic is not None else {}
+        self.stats = stats
+
+
+class DeadlockError(SimulationStallError):
+    """Every unfinished core is parked and no event can wake one."""
+
+
+class LivelockError(SimulationStallError):
+    """Cores stay runnable but no AR committed within the watchdog window."""
+
+
+class CycleLimitExceeded(SimulationStallError):
+    """The run passed ``max_cycles`` without completing every thread."""
+
+
+class OracleViolation(SimulationError):
+    """A runtime correctness oracle detected a broken guarantee.
+
+    ``details`` is a structured description of the violation (e.g. the
+    diverging addresses of a failed commit-order replay, or the leaked
+    lock-table entries).
+    """
+
+    def __init__(self, message, details=None):
+        super().__init__(message)
+        self.details = details if details is not None else {}
+
+
+class ExperimentCellError(ReproError):
+    """An experiment cell failed permanently after bounded retries.
+
+    Raised by the strict (non-report) engine entry points; carries the
+    :class:`repro.sim.engine.CellFailure` describing what happened.
+    """
+
+    def __init__(self, message, failure=None):
+        super().__init__(message)
+        self.failure = failure

@@ -140,3 +140,14 @@ class ClearController:
         """Non-memory-conflict abort in S-CL: stop retrying CL (§4.4.2)."""
         entry = self.ert.ensure(region_id)
         entry.is_convertible = False
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def diagnostic_state(self):
+        """JSON-serializable ERT/CRT digest for stall diagnostic dumps."""
+        return {
+            "ert": self.ert.snapshot(),
+            "crt_lines": len(self.crt),
+            "discoveries_started": self.discoveries_started,
+            "discoveries_failed_mode": self.discoveries_failed_mode,
+        }

@@ -96,3 +96,15 @@ class ExploredRegionTable:
 
     def __contains__(self, region_id):
         return region_id in self._entries
+
+    def snapshot(self):
+        """JSON-serializable per-region bit dump (for diagnostics)."""
+        return [
+            {
+                "region": list(region) if isinstance(region, tuple) else region,
+                "is_convertible": entry.is_convertible,
+                "is_immutable": entry.is_immutable,
+                "sq_full_counter": entry.sq_full_counter,
+            }
+            for region, entry in self._entries.items()
+        ]

@@ -24,15 +24,22 @@ class AbortReason(enum.Enum):
     LOCK_SET_FAILURE = "lock_set_failure"  # CL mode could not pin its set
     FOOTPRINT_DEVIATION = "footprint_deviation"  # NS-CL learned-set miss
     OTHER = "other"  # exceptions, interrupts, ...
+    # Chaos-layer injections (repro.sim.faults). Real TSX-class HTM
+    # suffers spurious aborts (interrupts, microarchitectural events)
+    # and unpredictable capacity aborts; the fault injector emulates
+    # them under distinct reasons so chaos runs stay analyzable.
+    INJECTED_SPURIOUS = "injected_spurious"
+    INJECTED_CAPACITY = "injected_capacity"
 
 
 class AbortCategory(enum.Enum):
-    """Fig. 11 reporting buckets."""
+    """Fig. 11 reporting buckets, plus the chaos-run injection bucket."""
 
     MEMORY_CONFLICT = "Memory Conflict"
     EXPLICIT_FALLBACK = "Explicit Fallback"
     OTHER_FALLBACK = "Other Fallback"
     OTHERS = "Others"
+    INJECTED = "Injected"  # chaos-layer faults; empty without --chaos
 
 
 _CATEGORY_OF = {
@@ -47,7 +54,18 @@ _CATEGORY_OF = {
     AbortReason.LOCK_SET_FAILURE: AbortCategory.OTHERS,
     AbortReason.FOOTPRINT_DEVIATION: AbortCategory.OTHERS,
     AbortReason.OTHER: AbortCategory.OTHERS,
+    AbortReason.INJECTED_SPURIOUS: AbortCategory.INJECTED,
+    AbortReason.INJECTED_CAPACITY: AbortCategory.INJECTED,
 }
+
+# Injected faults behave like their real counterparts everywhere else:
+# they count toward the retry limit (a spurious abort on real hardware
+# is indistinguishable from any other abort to the retry counter) and,
+# like every non-memory-conflict cause, mark an S-CL region
+# non-discoverable (paper §4.4.2).
+INJECTED_REASONS = frozenset(
+    {AbortReason.INJECTED_SPURIOUS, AbortReason.INJECTED_CAPACITY}
+)
 
 # Aborts that do not advance the retry counter toward the fallback
 # threshold (paper §7, "certain types of aborts do not increase the
@@ -73,6 +91,8 @@ NON_MEMORY_REASONS = frozenset(
         AbortReason.EXPLICIT,
         AbortReason.LOCK_SET_FAILURE,
         AbortReason.OTHER,
+        AbortReason.INJECTED_SPURIOUS,
+        AbortReason.INJECTED_CAPACITY,
     }
 )
 

@@ -122,3 +122,15 @@ class LockManager:
     def locked_line_count(self):
         """Total number of locked lines (for invariant checks)."""
         return len(self._holders)
+
+    def snapshot(self):
+        """JSON-serializable ``{holder_core: sorted locked lines}`` map.
+
+        Used by the end-of-run leak oracle and the stall diagnostic
+        dump, where naming the exact leaked lines (not just a count)
+        makes the failure actionable.
+        """
+        return {
+            core: sorted(lines)
+            for core, lines in sorted(self._held_by_core.items())
+        }

@@ -17,6 +17,11 @@ class SharedMemory:
         self._words = {}
         self.load_count = 0
         self.store_count = 0
+        # Optional (addr, value) callback observing every poke. The
+        # runtime oracle mirrors workload-level initialization writes
+        # (e.g. node-pool refills issued outside any AR) into its
+        # shadow memory through this; None outside oracle runs.
+        self.poke_mirror = None
 
     def load(self, word_addr):
         """Architectural load of one word."""
@@ -35,6 +40,8 @@ class SharedMemory:
     def poke(self, word_addr, value):
         """Write without counting as an access (workload initialization)."""
         self._words[word_addr] = value
+        if self.poke_mirror is not None:
+            self.poke_mirror(word_addr, value)
 
     def snapshot(self):
         """Copy of the current contents (for invariant checks in tests)."""

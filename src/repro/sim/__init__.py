@@ -14,10 +14,24 @@
 - :mod:`repro.sim.engine` — the parallel, cached experiment engine
   fanning independent (workload, config, seed) cells over worker
   processes with content-addressed on-disk memoization.
+- :mod:`repro.sim.faults` — deterministic seeded fault injection (the
+  chaos layer).
+- :mod:`repro.sim.oracle` — runtime correctness oracles (commit-order
+  serializability, invariant sampling, leak checks).
 """
 
 from repro.sim.config import SimConfig, HtmPolicy
-from repro.sim.engine import DiskCache, ExperimentEngine, ProgressEvent, RunSpec, run_specs
+from repro.sim.engine import (
+    CellFailure,
+    DiskCache,
+    ExperimentEngine,
+    ProgressEvent,
+    RunSpec,
+    SweepReport,
+    run_specs,
+)
+from repro.sim.faults import FaultPlan
+from repro.sim.oracle import RuntimeOracle
 from repro.sim.program import Load, Store, Compute, Branch, AbortOp, Invoke, Think
 from repro.sim.stats import MachineStats, CoreStats
 from repro.sim.machine import Machine
@@ -26,10 +40,14 @@ from repro.sim.runner import run_workload, run_seeds, RunResult, AggregateResult
 __all__ = [
     "SimConfig",
     "HtmPolicy",
+    "CellFailure",
     "DiskCache",
     "ExperimentEngine",
+    "SweepReport",
+    "FaultPlan",
     "ProgressEvent",
     "RunSpec",
+    "RuntimeOracle",
     "run_specs",
     "Load",
     "Store",

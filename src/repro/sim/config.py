@@ -94,6 +94,31 @@ class SimConfig:
     lock_release_cycles: int = 4
     # -- run control --
     max_cycles: int = 60_000_000
+    # -- robustness: fault injection (repro.sim.faults) --
+    # All default to "off"; with every rate/amplitude at zero the
+    # machine builds no FaultPlan and every hook is a skipped None
+    # check, so default runs are bit-identical to a chaos-free build.
+    # Per-attempt probability of an injected spurious abort on a
+    # speculative attempt (TSX-class interrupt/microarchitectural
+    # aborts our conflict model never produces on its own).
+    fault_spurious_rate: float = 0.0
+    # Per-attempt probability of an injected capacity-style abort.
+    fault_capacity_rate: float = 0.0
+    # Max extra cycles of coherence-latency jitter per memory access.
+    fault_jitter_cycles: int = 0
+    # Max extra cycles a parked core's lock-release wakeup is delayed.
+    fault_wakeup_delay_cycles: int = 0
+    # -- robustness: runtime oracles (repro.sim.oracle) --
+    # Commit-order serializability replay + leak checks + periodic
+    # validate_machine sampling. Zero simulated-time cost; off by
+    # default because the shadow replay costs host time.
+    oracle: bool = False
+    # Event-loop pops between validate_machine samples while the
+    # oracle is enabled.
+    oracle_validate_interval: int = 4096
+    # Livelock watchdog: trip when no AR commits within this many
+    # cycles while cores are still runnable (0 disables).
+    watchdog_cycles: int = 0
 
     def __post_init__(self):
         if self.num_cores <= 0:
@@ -114,6 +139,36 @@ class SimConfig:
                     self.scl_lock_policy
                 )
             )
+        for rate_name in ("fault_spurious_rate", "fault_capacity_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    "{} must be in [0, 1], not {!r}".format(rate_name, rate)
+                )
+        if self.fault_spurious_rate + self.fault_capacity_rate > 1.0:
+            raise ConfigurationError(
+                "fault_spurious_rate + fault_capacity_rate must not exceed 1"
+            )
+        for cycles_name in ("fault_jitter_cycles", "fault_wakeup_delay_cycles",
+                            "watchdog_cycles"):
+            if getattr(self, cycles_name) < 0:
+                raise ConfigurationError(
+                    "{} must be non-negative".format(cycles_name)
+                )
+        if self.oracle_validate_interval < 1:
+            raise ConfigurationError(
+                "oracle_validate_interval must be >= 1"
+            )
+
+    @property
+    def chaos_enabled(self):
+        """True when any fault-injection knob is active."""
+        return (
+            self.fault_spurious_rate > 0.0
+            or self.fault_capacity_rate > 0.0
+            or self.fault_jitter_cycles > 0
+            or self.fault_wakeup_delay_cycles > 0
+        )
 
     @property
     def htm_policy(self):

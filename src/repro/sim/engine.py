@@ -25,6 +25,7 @@ inline ``jobs=1`` path round-trips through the same representation, so
 serial, parallel, and cached runs are indistinguishable downstream.
 """
 
+import collections
 import concurrent.futures
 import dataclasses
 import hashlib
@@ -33,6 +34,7 @@ import os
 import tempfile
 import time
 
+from repro.common.errors import ExperimentCellError
 from repro.sim.config import SimConfig
 from repro.sim.runner import RunResult, run_workload
 from repro.workloads import make_workload
@@ -112,13 +114,21 @@ class DiskCache:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def load(self, key):
-        """The stored dict for ``key``, or None on miss/corruption."""
+        """The stored dict for ``key``, or None on miss/corruption.
+
+        Anything short of a well-formed entry written by this schema
+        version — unreadable file, truncated/invalid JSON, a non-dict
+        payload, a missing ``"result"``, or a stale ``schema_version``
+        — is a miss; the next :meth:`store` overwrites it.
+        """
         try:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return None
         if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
             return None
         return payload["result"]
 
@@ -176,90 +186,401 @@ class ProgressEvent:
         return (self.total - self.done) / rate
 
 
+@dataclasses.dataclass
+class CellFailure:
+    """One cell the engine gave up on, with why and after how many tries.
+
+    ``kind`` is one of ``"timeout"`` (the cell exceeded ``cell_timeout``
+    on every allowed attempt), ``"worker-crash"`` (its worker process
+    died repeatedly), or ``"error"`` (the simulation raised — these are
+    deterministic, so the cell is quarantined on the first attempt).
+    ``exception`` carries the original error object for ``"error"``
+    failures (not serialized).
+    """
+
+    spec: RunSpec
+    kind: str
+    attempts: int
+    message: str
+    exception: Exception = None
+
+    def to_dict(self):
+        """JSON-serializable form (for failure reports in script output)."""
+        return {
+            "workload": self.spec.workload,
+            "ops_per_thread": self.spec.ops_per_thread,
+            "seed": self.spec.seed,
+            "config": self.spec.config.fingerprint(),
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Outcome of a fault-tolerant sweep: a possibly partial matrix.
+
+    ``results`` aligns with the input specs; failed cells hold ``None``.
+    """
+
+    results: list
+    failures: list
+    total: int
+    completed: int
+    cache_hits: int
+
+    @property
+    def ok(self):
+        """True when every cell completed."""
+        return not self.failures
+
+    def failure_report(self):
+        """JSON-serializable digest of what failed and why."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "failed": len(self.failures),
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
 class ExperimentEngine:
     """Runs batches of :class:`RunSpec` cells, parallel and memoized.
 
-    ``jobs``      — worker processes; ``None`` means ``os.cpu_count()``
-                    and ``1`` is a strictly serial in-process loop.
-    ``cache_dir`` — root of the on-disk cache; ``None`` disables
-                    caching entirely.
-    ``progress``  — optional callback receiving a :class:`ProgressEvent`
-                    after every finished cell (hit or simulated).
+    ``jobs``         — worker processes; ``None`` means
+                       ``os.cpu_count()`` and ``1`` is a strictly serial
+                       in-process loop.
+    ``cache_dir``    — root of the on-disk cache; ``None`` disables
+                       caching entirely.
+    ``progress``     — optional callback receiving a
+                       :class:`ProgressEvent` after every finished cell
+                       (hit or simulated).
+    ``cell_timeout`` — wall-clock seconds one cell may run before its
+                       worker pool is killed and the cell retried
+                       (parallel mode only; ``None`` disables).
+    ``max_cell_retries``      — extra attempts a timed-out or
+                       crash-victim cell gets before quarantine.
+    ``retry_backoff_seconds`` — base sleep after a pool kill/crash,
+                       doubled per consecutive restart (bounded).
+
+    Fault tolerance: a hung cell trips the per-cell deadline, the pool
+    is torn down (``ProcessPoolExecutor`` cannot cancel a *running*
+    task), innocent in-flight cells are requeued uncharged, and the
+    offender is retried up to ``max_cell_retries`` times before being
+    quarantined. A crashed worker (``BrokenProcessPool``) similarly
+    charges every in-flight cell one attempt — the poisonous one keeps
+    crashing until quarantined, the rest recover. Deterministic
+    simulation errors quarantine immediately: a seeded sim raises
+    identically on every retry. :meth:`run_specs` stays strict (any
+    failure raises); :meth:`run_specs_report` degrades gracefully to a
+    partial matrix plus a structured failure report.
+
+    A ``KeyboardInterrupt`` mid-sweep cancels whatever has not started,
+    persists every already-finished cell to the cache, and re-raises —
+    an interrupted sweep resumes from where it stopped.
     """
 
-    def __init__(self, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None):
+    #: Cap on the exponential pool-restart backoff.
+    MAX_BACKOFF_SECONDS = 10.0
+
+    def __init__(self, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None,
+                 cell_timeout=None, max_cell_retries=2,
+                 retry_backoff_seconds=0.5):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, not {}".format(self.jobs))
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive or None")
+        if max_cell_retries < 0:
+            raise ValueError("max_cell_retries must be >= 0")
         self.cache = DiskCache(cache_dir) if cache_dir else None
         self.progress = progress
+        self.cell_timeout = cell_timeout
+        self.max_cell_retries = max_cell_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
 
     def run_specs(self, specs):
-        """Simulate (or recall) every spec; results in spec order."""
-        specs = list(specs)
-        started = time.monotonic()
-        total = len(specs)
-        done = 0
-        cache_hits = 0
-        result_dicts = [None] * total
+        """Simulate (or recall) every spec; results in spec order.
 
-        def emit(index, from_cache):
-            if self.progress is None:
-                return
-            self.progress(ProgressEvent(
-                done=done,
-                total=total,
-                cache_hits=cache_hits,
-                elapsed_seconds=time.monotonic() - started,
-                spec=specs[index],
-                from_cache=from_cache,
-            ))
+        Strict mode: the first failed cell raises — the original
+        simulation error when there is one, otherwise an
+        :class:`~repro.common.errors.ExperimentCellError` (timeouts,
+        repeated worker crashes).
+        """
+        report = self._run(list(specs))
+        if report.failures:
+            failure = report.failures[0]
+            if failure.exception is not None:
+                raise failure.exception
+            raise ExperimentCellError(
+                "cell {} ({}) failed after {} attempt(s): {}".format(
+                    failure.spec.workload, failure.kind, failure.attempts,
+                    failure.message,
+                ),
+                failure=failure,
+            )
+        return report.results
 
-        keys = [spec.cache_key() for spec in specs]
-        misses = []
-        for index, key in enumerate(keys):
-            cached = self.cache.load(key) if self.cache else None
-            if cached is not None:
-                result_dicts[index] = cached
-                done += 1
-                cache_hits += 1
-                emit(index, from_cache=True)
-            else:
-                misses.append(index)
-
-        if misses and self.jobs == 1:
-            for index in misses:
-                result_dicts[index] = execute_spec(specs[index])
-                if self.cache:
-                    self.cache.store(keys[index], result_dicts[index],
-                                     specs[index])
-                done += 1
-                emit(index, from_cache=False)
-        elif misses:
-            workers = min(self.jobs, len(misses))
-            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-                futures = {
-                    pool.submit(execute_spec, specs[index]): index
-                    for index in misses
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    index = futures[future]
-                    result_dicts[index] = future.result()
-                    if self.cache:
-                        self.cache.store(keys[index], result_dicts[index],
-                                         specs[index])
-                    done += 1
-                    emit(index, from_cache=False)
-
-        return [RunResult.from_dict(result) for result in result_dicts]
+    def run_specs_report(self, specs):
+        """Fault-tolerant sweep: a :class:`SweepReport`, never raising
+        for individual cell failures (results carry ``None`` holes)."""
+        return self._run(list(specs))
 
     def run_spec(self, spec):
         """Convenience single-cell entry point."""
         return self.run_specs([spec])[0]
 
+    # -- internals ----------------------------------------------------------
 
-def run_specs(specs, *, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None):
+    def _run(self, specs):
+        started = time.monotonic()
+        total = len(specs)
+        progress_state = {"done": 0, "cache_hits": 0}
+        result_dicts = [None] * total
+        keys = [spec.cache_key() for spec in specs]
+
+        def emit(index, from_cache):
+            if self.progress is None:
+                return
+            self.progress(ProgressEvent(
+                done=progress_state["done"],
+                total=total,
+                cache_hits=progress_state["cache_hits"],
+                elapsed_seconds=time.monotonic() - started,
+                spec=specs[index],
+                from_cache=from_cache,
+            ))
+
+        def record(index, result, from_cache=False):
+            result_dicts[index] = result
+            if not from_cache and self.cache:
+                self.cache.store(keys[index], result, specs[index])
+            progress_state["done"] += 1
+            if from_cache:
+                progress_state["cache_hits"] += 1
+            emit(index, from_cache)
+
+        misses = []
+        for index, key in enumerate(keys):
+            cached = self.cache.load(key) if self.cache else None
+            if cached is not None:
+                record(index, cached, from_cache=True)
+            else:
+                misses.append(index)
+
+        if not misses:
+            failures = []
+        elif self.jobs == 1:
+            failures = self._run_serial(specs, misses, record)
+        else:
+            failures = self._run_parallel(specs, misses, record)
+
+        results = [
+            RunResult.from_dict(result) if result is not None else None
+            for result in result_dicts
+        ]
+        return SweepReport(
+            results=results,
+            failures=failures,
+            total=total,
+            completed=progress_state["done"],
+            cache_hits=progress_state["cache_hits"],
+        )
+
+    def _run_serial(self, specs, misses, record):
+        """In-process loop (``jobs=1``): deterministic, no timeouts.
+
+        Each finished cell is persisted before the next starts, so a
+        ``KeyboardInterrupt`` loses at most the in-flight cell.
+        """
+        failures = []
+        for index in misses:
+            try:
+                result = execute_spec(specs[index])
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                failures.append(CellFailure(
+                    spec=specs[index], kind="error", attempts=1,
+                    message="{}: {}".format(type(exc).__name__, exc),
+                    exception=exc,
+                ))
+                continue
+            record(index, result)
+        return failures
+
+    def _run_parallel(self, specs, misses, record):
+        """Bounded-submission pool loop with deadlines and recovery.
+
+        At most ``workers`` cells are in flight at once, so every
+        submitted cell is actually *running* and its wall-clock deadline
+        is meaningful (an unbounded submit queue would start the clock
+        while cells sit unscheduled).
+        """
+        workers = min(self.jobs, len(misses))
+        pending = collections.deque(misses)
+        attempts = collections.Counter()
+        failures = []
+        pool = concurrent.futures.ProcessPoolExecutor(workers)
+        inflight = {}  # future -> (spec index, deadline or None)
+        pool_restarts = 0
+        # Cells requeued after a worker crash. A crash poisons every
+        # future sharing the pool, so the culprit is unknowable; retry
+        # the involved cells one at a time so an innocent cell completes
+        # instead of being quarantined as collateral damage.
+        suspects = set()
+        try:
+            while pending or inflight:
+                cap = 1 if suspects else workers
+                while pending and len(inflight) < cap:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    future = pool.submit(execute_spec, specs[index])
+                    deadline = None
+                    if self.cell_timeout is not None:
+                        deadline = time.monotonic() + self.cell_timeout
+                    inflight[future] = (index, deadline)
+                wait_timeout = None
+                if self.cell_timeout is not None:
+                    nearest = min(d for _, d in inflight.values())
+                    wait_timeout = max(0.0, nearest - time.monotonic())
+                done, _ = concurrent.futures.wait(
+                    inflight, timeout=wait_timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if not done:
+                    # Deadline expired with nothing finished: at least
+                    # one cell is hung. Kill the pool (a running task
+                    # cannot be cancelled), quarantine or requeue the
+                    # expired cells, requeue the innocent ones uncharged.
+                    now = time.monotonic()
+                    self._kill_pool(pool)
+                    for future, (index, deadline) in inflight.items():
+                        if deadline is not None and deadline <= now:
+                            if not self._requeue_or_quarantine(
+                                specs, index, attempts, pending, failures,
+                                kind="timeout",
+                                message="exceeded cell_timeout={}s".format(
+                                    self.cell_timeout
+                                ),
+                            ):
+                                suspects.discard(index)
+                        else:
+                            attempts[index] -= 1  # innocent victim
+                            pending.appendleft(index)
+                    inflight = {}
+                    pool_restarts += 1
+                    self._backoff(pool_restarts)
+                    pool = concurrent.futures.ProcessPoolExecutor(workers)
+                    continue
+                broken = False
+                for future in done:
+                    index, _ = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except concurrent.futures.process.BrokenProcessPool:
+                        broken = True
+                        if self._requeue_or_quarantine(
+                            specs, index, attempts, pending, failures,
+                            kind="worker-crash",
+                            message="worker process died",
+                        ):
+                            suspects.add(index)
+                        else:
+                            suspects.discard(index)
+                        continue
+                    except Exception as exc:
+                        # A real simulation error is deterministic for a
+                        # seeded cell: retrying cannot help.
+                        failures.append(CellFailure(
+                            spec=specs[index], kind="error",
+                            attempts=attempts[index],
+                            message="{}: {}".format(type(exc).__name__, exc),
+                            exception=exc,
+                        ))
+                        continue
+                    record(index, result)
+                    suspects.discard(index)
+                if broken:
+                    # The whole pool is poisoned: every remaining
+                    # in-flight future will raise BrokenProcessPool too.
+                    for future, (index, _) in inflight.items():
+                        if self._requeue_or_quarantine(
+                            specs, index, attempts, pending, failures,
+                            kind="worker-crash",
+                            message="worker process died",
+                        ):
+                            suspects.add(index)
+                        else:
+                            suspects.discard(index)
+                    inflight = {}
+                    self._kill_pool(pool)
+                    pool_restarts += 1
+                    self._backoff(pool_restarts)
+                    pool = concurrent.futures.ProcessPoolExecutor(workers)
+            pool.shutdown(wait=True)
+        except KeyboardInterrupt:
+            # Persist whatever already finished, drop the rest, and let
+            # the interrupt propagate: the next run resumes from cache.
+            for future, (index, _) in inflight.items():
+                if future.done() and not future.cancelled():
+                    try:
+                        record(index, future.result())
+                    except Exception:
+                        pass
+            self._kill_pool(pool)
+            raise
+        except BaseException:
+            self._kill_pool(pool)
+            raise
+        return failures
+
+    def _requeue_or_quarantine(self, specs, index, attempts, pending,
+                               failures, kind, message):
+        """Requeue ``index`` for another attempt, or quarantine it.
+
+        Returns True when the cell was requeued, False when it was
+        quarantined into ``failures``.
+        """
+        if attempts[index] > self.max_cell_retries:
+            failures.append(CellFailure(
+                spec=specs[index], kind=kind, attempts=attempts[index],
+                message=message,
+            ))
+            return False
+        pending.append(index)
+        return True
+
+    def _backoff(self, restarts):
+        if self.retry_backoff_seconds <= 0:
+            return
+        delay = min(
+            self.retry_backoff_seconds * (2 ** (restarts - 1)),
+            self.MAX_BACKOFF_SECONDS,
+        )
+        time.sleep(delay)
+
+    @staticmethod
+    def _kill_pool(pool):
+        """Tear a pool down *now*, hung workers included.
+
+        ``shutdown(cancel_futures=True)`` only cancels queued tasks; a
+        wedged worker must be terminated directly or shutdown would
+        block on it forever.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_specs(specs, *, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None,
+              cell_timeout=None, max_cell_retries=2,
+              retry_backoff_seconds=0.5):
     """One-shot functional entry point over a throwaway engine."""
     engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
-                              progress=progress)
+                              progress=progress, cell_timeout=cell_timeout,
+                              max_cell_retries=max_cell_retries,
+                              retry_backoff_seconds=retry_backoff_seconds)
     return engine.run_specs(specs)

@@ -79,6 +79,10 @@ class CoreExecutor:
         self.attempt_loads = 0
         self.attempt_stores = 0
         self.pending_abort = None
+        # Chaos layer: op index at which this attempt's injected abort
+        # fires (None = attempt spared or chaos disabled).
+        self._fault_abort_at = None
+        self._fault_abort_reason = None
         self.fallback_read_held = False
         self.fallback_write_held = False
         self.locked_lines = set()
@@ -202,11 +206,27 @@ class CoreExecutor:
             self.discovery = self.controller.begin_invocation(self.invocation.region_id)
         if self.config.powertm and self.counting_retries > 0:
             self.machine.power.try_acquire(self.core)
+        self._plan_fault_injection()
         self.gen = self.invocation.body_factory()
         self.gen_send_value = None
         self.phase = BODY
         self.machine.stats.record_begin(self.core)
         return self._busy(self.config.tx_begin_cycles)
+
+    def _plan_fault_injection(self):
+        """Draw this speculative attempt's injected-abort schedule.
+
+        Spurious/capacity faults only strike attempts with speculative
+        state to lose; NS-CL and fallback keep their completion
+        guarantees (the paper's claim under test is precisely that the
+        non-speculative modes finish regardless of HTM misbehaviour).
+        """
+        faults = self.machine.faults
+        if faults is None or not self.mode.is_speculative:
+            return
+        planned = faults.plan_attempt(self.core)
+        if planned is not None:
+            self._fault_abort_reason, self._fault_abort_at = planned
 
     def _step_begin_wait(self):
         if self.machine.fallback.is_write_held():
@@ -248,6 +268,7 @@ class CoreExecutor:
             # off: discovery already proved the footprint fits).
             self.rwsets = ReadWriteSets(l1_sets=None, l2_sets=None)
         self.discovery = None
+        self._plan_fault_injection()  # strikes S-CL only; NS-CL is immune
         self._lock_groups = self.controller.prepare_lock_plan(self.saved_discovery, mode)
         self._lock_group_idx = 0
         self._lock_set_held = None
@@ -399,6 +420,12 @@ class CoreExecutor:
         self.attempt_ops += 1
         if self.attempt_ops > MAX_OPS_PER_ATTEMPT:
             return self._abort_attempt(AbortReason.OTHER)
+        if self._fault_abort_at is not None and self.attempt_ops >= self._fault_abort_at:
+            reason = self._fault_abort_reason
+            self._fault_abort_at = None
+            self._fault_abort_reason = None
+            self.machine.faults.note_injected(self.core, reason, self.attempt_index)
+            return self._abort_attempt(reason)
         if self.config.speculation == "sle" and self.mode.is_speculative:
             # In-core speculation (§4.1): the attempt lives inside the
             # ROB/LQ/SQ window; exhausting it forces an abort and marks
@@ -440,7 +467,7 @@ class CoreExecutor:
                 # simply ends the region (its direct stores are already
                 # architectural). This keeps always-aborting regions from
                 # cycling forever between fallback and retry.
-                return self._commit()
+                return self._commit(via_abort=True)
             return self._abort_attempt(AbortReason.EXPLICIT)
         raise TypeError("AR body yielded unknown op {!r}".format(op))
 
@@ -506,6 +533,9 @@ class CoreExecutor:
 
         result = memsys.access(self.core, line, is_store)
         machine.stats.record_access(result.level)
+        latency = result.latency
+        if machine.faults is not None:
+            latency += machine.faults.jitter(self.core)
 
         # Speculative set tracking / capacity.
         if self.rwsets is not None:
@@ -536,14 +566,14 @@ class CoreExecutor:
                 self.rwsets.buffer_store(op.word_addr, op.store_value)
             else:
                 machine.memory.store(op.word_addr, op.store_value)
-            return self._busy(result.latency, failed_discovery=failed)
+            return self._busy(latency, failed_discovery=failed)
         if self.rwsets is not None:
             forwarded = self.rwsets.forwarded_load(op.word_addr)
             value = forwarded if forwarded is not None else machine.memory.load(op.word_addr)
         else:
             value = machine.memory.load(op.word_addr)
         self.gen_send_value = TaintedValue(value, tainted=True)
-        return self._busy(result.latency, failed_discovery=failed)
+        return self._busy(latency, failed_discovery=failed)
 
     # ------------------------------------------------------------------
     # Region end (XEnd)
@@ -568,9 +598,16 @@ class CoreExecutor:
             AbortReason.MEMORY_CONFLICT, decided_mode=decision.mode
         )
 
-    def _commit(self):
+    def _commit(self, via_abort=False):
         machine = self.machine
         mode = self.mode
+        if machine.oracle is not None:
+            # Commit-order replay against the shadow memory; via_abort
+            # marks fallback regions ended at an explicit XAbort (the
+            # replay then also stops at the AbortOp).
+            machine.oracle.record_commit(
+                self.core, self.invocation, mode, via_abort=via_abort
+            )
         if self.rwsets is not None:
             self.rwsets.drain_to(machine.memory)
         if self.controller is not None:
@@ -669,6 +706,8 @@ class CoreExecutor:
         self.discovery = None
         self.rwsets = None
         self.mode = None
+        self._fault_abort_at = None
+        self._fault_abort_reason = None
         self.locked_lines = set()
         self._lock_groups = []
         self._lock_group_idx = 0

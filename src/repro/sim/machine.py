@@ -12,7 +12,12 @@ paper's directory-retry rule).
 
 import heapq
 
-from repro.common.errors import SimulationError
+from repro.common.errors import (
+    CycleLimitExceeded,
+    DeadlockError,
+    LivelockError,
+    SimulationError,
+)
 from repro.common.rng import DeterministicRng
 from repro.core.controller import ClearController
 from repro.core.modes import ExecMode
@@ -28,7 +33,13 @@ from repro.sim.executor import (
     STEP_DONE,
     CoreExecutor,
 )
+from repro.sim.faults import FaultPlan
+from repro.sim.oracle import RuntimeOracle
 from repro.sim.stats import MachineStats
+
+# The watchdog and oracle-sampling checks run every this-many event-loop
+# pops (power of two so the modulo is cheap).
+WATCHDOG_CHECK_EVENTS = 1024
 
 
 class Machine:
@@ -66,6 +77,18 @@ class Machine:
             num_threads=config.num_cores,
             rng=self.rng.child("setup"),
         )
+        # Chaos layer: None unless the config enables some fault class,
+        # in which case every injection decision derives from dedicated
+        # child streams of the run seed (reproducible, and invisible to
+        # every other consumer of the rng).
+        self.faults = FaultPlan.from_config(config, self.rng, config.num_cores)
+        # Oracle: constructed after workload setup so the shadow memory
+        # seeds from the exact post-setup architectural state.
+        self.oracle = None
+        if config.oracle:
+            self.oracle = RuntimeOracle(
+                self, validate_interval=config.oracle_validate_interval
+            )
         self.executors = []
         for core in range(config.num_cores):
             controller = None
@@ -127,18 +150,65 @@ class Machine:
     # -- the event loop -------------------------------------------------------
 
     def run(self):
-        """Run to completion; returns the populated MachineStats."""
+        """Run to completion; returns the populated MachineStats.
+
+        Raises a typed :class:`~repro.common.errors.SimulationStallError`
+        subclass when the run cannot complete, each carrying a
+        structured :meth:`diagnostic_dump` and the partial stats:
+
+        - :class:`CycleLimitExceeded` — ``max_cycles`` elapsed with the
+          workload unfinished (``stats.truncated`` is set).
+        - :class:`DeadlockError` — every unfinished core is parked on a
+          lock/guard and no release can ever wake them.
+        - :class:`LivelockError` — cores keep executing but no AR has
+          committed for ``watchdog_cycles`` cycles (opt-in, off by
+          default).
+        """
         config = self.config
+        oracle = self.oracle
+        faults = self.faults
+        watchdog = config.watchdog_cycles
+        validate_interval = oracle.validate_interval if oracle is not None else 0
         heap = []
         for core in range(config.num_cores):
             heapq.heappush(heap, (0, core))
         parked = {}
         now = 0
+        events = 0
+        watchdog_commits = 0
+        watchdog_progress_cycle = 0
         while heap:
             now, core = heapq.heappop(heap)
             if now > config.max_cycles:
                 self.stats.truncated = True
-                break
+                self.stats.makespan_cycles = max(self.stats.makespan_cycles, now)
+                raise CycleLimitExceeded(
+                    "cycle limit {} exceeded with the workload unfinished "
+                    "({} of {} cores done)".format(
+                        config.max_cycles,
+                        sum(1 for ex in self.executors if ex.finish_time is not None),
+                        config.num_cores,
+                    ),
+                    diagnostic=self.diagnostic_dump(now, parked),
+                    stats=self.stats,
+                )
+            events += 1
+            if validate_interval and events % validate_interval == 0:
+                oracle.sample()
+            if watchdog and events % WATCHDOG_CHECK_EVENTS == 0:
+                commits = self.stats.total_commits
+                if commits != watchdog_commits:
+                    watchdog_commits = commits
+                    watchdog_progress_cycle = now
+                elif now - watchdog_progress_cycle > watchdog:
+                    raise LivelockError(
+                        "no AR committed in the last {} cycles (cycle {}, "
+                        "{} commits so far) while cores keep executing".format(
+                            now - watchdog_progress_cycle, now, commits
+                        ),
+                        diagnostic=self.diagnostic_dump(now, parked),
+                        stats=self.stats,
+                    )
             executor = self.executors[core]
             kind, payload = executor.step(now)
             if kind == STEP_DELAY:
@@ -151,12 +221,17 @@ class Machine:
                 self._release_pending = False
                 for parked_core, park_time in parked.items():
                     self.stats.add_wait(parked_core, max(0, now - park_time))
-                    heapq.heappush(heap, (max(park_time, now) + 1, parked_core))
+                    wake = max(park_time, now) + 1
+                    if faults is not None:
+                        wake += faults.wakeup_delay(parked_core)
+                    heapq.heappush(heap, (wake, parked_core))
                 parked.clear()
-        if parked and not self.stats.truncated:
-            blocked = sorted(parked)
-            raise SimulationError(
-                "deadlock: cores {} parked with no runnable core".format(blocked)
+        if parked:
+            raise DeadlockError(
+                "deadlock: cores {} parked with no runnable core to release "
+                "what they wait on".format(sorted(parked)),
+                diagnostic=self.diagnostic_dump(now, parked),
+                stats=self.stats,
             )
         finish_times = [
             executor.finish_time
@@ -164,6 +239,59 @@ class Machine:
             if executor.finish_time is not None
         ]
         self.stats.makespan_cycles = max(finish_times) if finish_times else now
-        if self.stats.truncated:
-            self.stats.makespan_cycles = max(self.stats.makespan_cycles, now)
+        if oracle is not None:
+            oracle.finalize()
         return self.stats
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def diagnostic_dump(self, now, parked=None):
+        """JSON-serializable snapshot of machine state for stall errors.
+
+        Captures everything needed to diagnose *why* the machine stopped
+        making progress: per-core execution phase/mode/retry state, the
+        cacheline lock table, fallback and power-token holders, ERT/CRT
+        contents, and headline commit/abort totals.
+        """
+        parked = parked or {}
+        cores = []
+        for executor in self.executors:
+            region = None
+            if executor.invocation is not None:
+                region = executor.invocation.region_id
+                if isinstance(region, tuple):
+                    region = list(region)
+            entry = {
+                "core": executor.core,
+                "phase": executor.phase,
+                "mode": executor.mode.value if executor.mode is not None else None,
+                "region": region,
+                "counting_retries": executor.counting_retries,
+                "attempt_index": executor.attempt_index,
+                "attempt_ops": executor.attempt_ops,
+                "pending_abort": (
+                    executor.pending_abort.value
+                    if executor.pending_abort is not None else None
+                ),
+                "locked_lines": sorted(executor.locked_lines),
+                "fallback_read_held": executor.fallback_read_held,
+                "fallback_write_held": executor.fallback_write_held,
+                "parked_since": parked.get(executor.core),
+                "finished": executor.finish_time is not None,
+            }
+            if executor.controller is not None:
+                entry["controller"] = executor.controller.diagnostic_state()
+            cores.append(entry)
+        return {
+            "cycle": now,
+            "cores": cores,
+            "lock_table": self.memsys.locks.snapshot(),
+            "fallback_writer": self.fallback.writer,
+            "fallback_readers": sorted(self.fallback.readers),
+            "power_holder": self.power.holder,
+            "total_commits": self.stats.total_commits,
+            "total_aborts": self.stats.total_aborts,
+            "injected_aborts": (
+                self.faults.injected_abort_count() if self.faults is not None else 0
+            ),
+        }

@@ -1,0 +1,165 @@
+"""Runtime correctness oracles.
+
+The paper's guarantees are *robustness* claims — committed schedules
+stay serializable, NS-CL always completes, locks and the power token
+never leak, and the decision tree keeps every region making progress.
+This module checks those claims while a run executes (in the spirit of
+RegionTrack-style dynamic trace checkers), so a chaos run under
+:mod:`repro.sim.faults` is a proof, not a hope:
+
+- **Commit-order serializability.** Every committed AR is replayed, in
+  commit order, against a *shadow memory* seeded from the post-setup
+  state (workload-level pokes issued outside any AR are mirrored in as
+  they happen). At the end of the run the shadow and the architectural
+  memory must agree word for word: the interleaved execution was
+  equivalent to the serial execution in commit order. Fallback regions
+  that ended at an explicit XAbort are replayed with
+  ``stop_on_abort=True``, mirroring the executor's semantics.
+- **Invariant sampling.** :func:`repro.sim.validate.validate_machine`
+  runs every ``oracle_validate_interval`` event-loop pops, catching
+  cross-subsystem corruption near where it happens instead of at the
+  end of the run.
+- **Leak checks.** After the last thread finishes, the cacheline lock
+  table must be empty and the fallback lock and power token free.
+
+Violations raise :class:`repro.common.errors.OracleViolation` carrying
+a structured ``details`` dict. The oracle costs zero simulated cycles;
+it is pure host-side measurement machinery.
+"""
+
+from repro.common.errors import OracleViolation
+from repro.memory.shared import SharedMemory
+from repro.sim.replay import replay_body
+from repro.sim.validate import validate_machine
+
+#: How many diverging addresses a serializability violation reports.
+MAX_DIFF_REPORT = 16
+
+
+class CommitRecord:
+    """One committed AR, in commit order (kept for the violation report)."""
+
+    __slots__ = ("order", "core", "region_id", "mode", "via_abort")
+
+    def __init__(self, order, core, region_id, mode, via_abort):
+        self.order = order
+        self.core = core
+        self.region_id = region_id
+        self.mode = mode
+        self.via_abort = via_abort
+
+    def to_dict(self):
+        """JSON-serializable form (used in violation details)."""
+        return {
+            "order": self.order,
+            "core": self.core,
+            "region": list(self.region_id)
+            if isinstance(self.region_id, tuple) else self.region_id,
+            "mode": self.mode.value,
+            "via_abort": self.via_abort,
+        }
+
+
+class RuntimeOracle:
+    """Watches one :class:`~repro.sim.machine.Machine` run.
+
+    Construct *after* workload setup (the shadow memory is seeded from
+    the post-setup state). The machine calls :meth:`record_commit` on
+    every commit, :meth:`sample` periodically from the event loop, and
+    :meth:`finalize` once the run completes cleanly.
+    """
+
+    def __init__(self, machine, validate_interval=4096):
+        self.machine = machine
+        self.validate_interval = validate_interval
+        self.shadow = SharedMemory()
+        for word_addr, value in machine.memory.snapshot().items():
+            self.shadow.poke(word_addr, value)
+        # Mirror out-of-AR pokes (workload node refills etc.) into the
+        # shadow as they happen; they are deterministic, thread-local
+        # initialization writes that precede the AR that publishes them.
+        machine.memory.poke_mirror = self.shadow.poke
+        self.commits = []
+        self.samples_taken = 0
+
+    # -- hooks ---------------------------------------------------------------
+
+    def record_commit(self, core, invocation, mode, via_abort=False):
+        """Replay a just-committed AR against the shadow, in commit order."""
+        record = CommitRecord(
+            len(self.commits), core, invocation.region_id, mode, via_abort
+        )
+        self.commits.append(record)
+        replay_body(
+            invocation.body_factory, self.shadow,
+            commit=True, stop_on_abort=True,
+        )
+
+    def sample(self):
+        """Mid-run invariant check (periodic validate_machine)."""
+        self.samples_taken += 1
+        validate_machine(self.machine)
+
+    # -- end of run ----------------------------------------------------------
+
+    def finalize(self):
+        """Leak checks + final serializability diff; raises on violation."""
+        self._check_leaks()
+        validate_machine(self.machine)
+        self._check_serializability()
+        self.machine.memory.poke_mirror = None
+
+    def _check_leaks(self):
+        machine = self.machine
+        locks = machine.memsys.locks
+        if locks.locked_line_count():
+            raise OracleViolation(
+                "lock-table leak: {} cacheline lock(s) survived the run".format(
+                    locks.locked_line_count()
+                ),
+                details={"held": locks.snapshot()},
+            )
+        fallback = machine.fallback
+        if fallback.is_write_held() or fallback.readers:
+            raise OracleViolation(
+                "fallback-lock leak after run completion",
+                details={
+                    "writer": fallback.writer,
+                    "readers": sorted(fallback.readers),
+                },
+            )
+        if machine.power.holder is not None:
+            raise OracleViolation(
+                "power-token leak: core {} still holds the token".format(
+                    machine.power.holder
+                ),
+                details={"holder": machine.power.holder},
+            )
+
+    def _check_serializability(self):
+        memory_words = self.machine.memory.snapshot()
+        shadow_words = self.shadow.snapshot()
+        diffs = []
+        for word_addr in sorted(set(memory_words) | set(shadow_words)):
+            actual = memory_words.get(word_addr, 0)
+            replayed = shadow_words.get(word_addr, 0)
+            if actual != replayed:
+                diffs.append(
+                    {"addr": word_addr, "actual": actual, "replayed": replayed}
+                )
+                if len(diffs) > MAX_DIFF_REPORT:
+                    break
+        if diffs:
+            raise OracleViolation(
+                "commit-order replay diverges from architectural memory at "
+                "{}{} address(es): the committed schedule is not "
+                "serializable in commit order".format(
+                    len(diffs), "+" if len(diffs) > MAX_DIFF_REPORT else ""
+                ),
+                details={
+                    "diffs": diffs[:MAX_DIFF_REPORT],
+                    "commits": [
+                        record.to_dict() for record in self.commits[-32:]
+                    ],
+                },
+            )

@@ -35,12 +35,18 @@ class ReplayResult:
         return len(self.footprint)
 
 
-def replay_body(body_factory, memory, commit=False):
+def replay_body(body_factory, memory, commit=False, stop_on_abort=False):
     """Execute an AR body against ``memory``, tracking taint/footprint.
 
     With ``commit=False`` stores stay in a local buffer (reads see it),
     leaving memory untouched; with ``commit=True`` the buffered stores
     are applied at the end, like a committing transaction.
+
+    ``stop_on_abort=True`` ends the replay at the first
+    :class:`~repro.sim.program.AbortOp`, mirroring the executor's
+    fallback-path semantics (an XAbort there simply ends the region, so
+    only the stores issued before it are architectural). The
+    serializability oracle replays with this enabled.
     """
     footprint = set()
     buffered = {}
@@ -71,7 +77,11 @@ def replay_body(body_factory, memory, commit=False):
             buffered[op.word_addr] = op.store_value
         elif isinstance(op, Branch):
             indirection_seen = indirection_seen or op.condition_tainted
-        elif isinstance(op, (Compute, AbortOp)):
+        elif isinstance(op, AbortOp):
+            if stop_on_abort:
+                gen.close()
+                break
+        elif isinstance(op, Compute):
             pass
         else:
             raise TypeError("unknown op {!r}".format(op))

@@ -154,6 +154,10 @@ class MachineStats:
         """All aborts across reasons."""
         return sum(self.aborts_by_reason.values())
 
+    def injected_abort_count(self):
+        """Aborts recorded under the chaos layer's ``Injected`` category."""
+        return self.aborts_by_category.get(AbortCategory.INJECTED, 0)
+
     def aborts_per_commit(self):
         """Fig. 9 metric."""
         commits = self.total_commits

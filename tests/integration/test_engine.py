@@ -1,5 +1,8 @@
 """Engine-level behaviours: truncation, waiting accounting, finish times."""
 
+import pytest
+
+from repro.common.errors import CycleLimitExceeded, SimulationStallError
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import Think
@@ -8,13 +11,22 @@ from tests.integration.test_machine_basic import ScriptedWorkload, counter_invok
 
 
 class TestTruncation:
-    def test_max_cycles_truncates_run(self):
+    def test_max_cycles_raises_typed_error_with_partial_stats(self):
         config = SimConfig.for_letter("B", num_cores=4, max_cycles=500)
         workload = make_workload("labyrinth", ops_per_thread=10)
         machine = Machine(config, workload, seed=1)
-        stats = machine.run()
-        assert stats.truncated
-        assert stats.makespan_cycles >= 500
+        with pytest.raises(CycleLimitExceeded) as excinfo:
+            machine.run()
+        err = excinfo.value
+        assert isinstance(err, SimulationStallError)
+        assert err.stats is machine.stats
+        assert err.stats.truncated
+        assert err.stats.makespan_cycles >= 500
+        # The diagnostic dump names every core and the global holders.
+        assert len(err.diagnostic["cores"]) == 4
+        assert err.diagnostic["cycle"] >= 500
+        for entry in err.diagnostic["cores"]:
+            assert "phase" in entry and "counting_retries" in entry
 
     def test_normal_run_not_truncated(self):
         config = SimConfig.for_letter("B", num_cores=2)

@@ -1,0 +1,104 @@
+"""Integration tests for the runtime oracle layer.
+
+The oracle must stay silent on correct executions (it replays the
+committed schedule and finds the identical final state) and must catch
+planted violations: out-of-band memory tampering, leaked cacheline
+locks, and leaked fallback/power holdings.
+"""
+
+import pytest
+
+from repro.common.errors import OracleViolation
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+
+def oracle_config(letter="C", **overrides):
+    return SimConfig.for_letter(letter, num_cores=4, oracle=True, **overrides)
+
+
+class TestOraclePasses:
+    @pytest.mark.parametrize("workload", ["hashmap", "bst", "labyrinth", "mwobject"])
+    @pytest.mark.parametrize("letter", ["B", "C"])
+    def test_silent_on_correct_runs(self, workload, letter):
+        machine = Machine(
+            oracle_config(letter),
+            make_workload(workload, ops_per_thread=6),
+            seed=2,
+        )
+        stats = machine.run()  # finalize() runs inside; no raise = pass
+        assert stats.total_commits > 0
+        assert len(machine.oracle.commits) == stats.total_commits
+
+    def test_commit_records_are_serializable(self):
+        machine = Machine(
+            oracle_config(), make_workload("hashmap", ops_per_thread=5), seed=4
+        )
+        machine.run()
+        for record in machine.oracle.commits:
+            dumped = record.to_dict()
+            assert dumped["order"] == record.order
+            assert dumped["mode"] in {
+                "speculative", "failed_discovery", "ns_cl", "s_cl", "fallback",
+            }
+
+    def test_periodic_sampling_happens(self):
+        machine = Machine(
+            oracle_config(oracle_validate_interval=64),
+            make_workload("hashmap", ops_per_thread=8),
+            seed=1,
+        )
+        machine.run()
+        assert machine.oracle.samples_taken > 0
+
+    def test_oracle_run_matches_plain_run(self):
+        plain = Machine(
+            SimConfig.for_letter("C", num_cores=4),
+            make_workload("hashmap", ops_per_thread=6), seed=5,
+        ).run()
+        watched = Machine(
+            oracle_config(), make_workload("hashmap", ops_per_thread=6), seed=5
+        ).run()
+        assert plain.to_dict() == watched.to_dict()
+
+
+class TestOracleCatches:
+    def test_out_of_band_tampering_breaks_serializability(self):
+        machine = Machine(
+            oracle_config(), make_workload("hashmap", ops_per_thread=5), seed=3
+        )
+        # An architectural store no AR issued: the replayed schedule can
+        # never reproduce it, so the final-state diff must flag it.
+        machine.memory.store(10_000_000, 42)
+        with pytest.raises(OracleViolation) as excinfo:
+            machine.run()
+        details = excinfo.value.details
+        assert any(diff["addr"] == 10_000_000 for diff in details["diffs"])
+
+    def test_leaked_cacheline_lock_detected(self):
+        machine = Machine(
+            oracle_config(), make_workload("mwobject", ops_per_thread=3), seed=1
+        )
+        # Planted on a core id no executor owns, so no commit path ever
+        # bulk-releases it: it must survive to the end-of-run leak check.
+        machine.memsys.locks.try_lock(99, 123_456)
+        with pytest.raises(OracleViolation, match="lock-table leak") as excinfo:
+            machine.run()
+        assert excinfo.value.details["held"] == {99: [123_456]}
+
+    def test_leaked_power_token_detected(self):
+        machine = Machine(
+            oracle_config(), make_workload("mwobject", ops_per_thread=3), seed=1
+        )
+        machine.power.try_acquire(99)
+        with pytest.raises(OracleViolation, match="power-token leak"):
+            machine.run()
+
+    def test_leaked_fallback_reader_detected(self):
+        machine = Machine(
+            oracle_config(), make_workload("mwobject", ops_per_thread=3), seed=1
+        )
+        machine.fallback.try_acquire_read(99)
+        with pytest.raises(OracleViolation, match="fallback-lock leak"):
+            machine.run()

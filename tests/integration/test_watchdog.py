@@ -1,0 +1,123 @@
+"""Typed stall detection: deadlock vs livelock vs cycle-limit.
+
+The machine must never die with a bare RuntimeError: every
+can't-make-progress outcome raises a dedicated
+:class:`SimulationStallError` subclass carrying a structured diagnostic
+dump (per-core mode, held locks, table state, retry counters) and the
+partial stats.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    CycleLimitExceeded,
+    DeadlockError,
+    LivelockError,
+    SimulationStallError,
+)
+from repro.sim import executor as executor_module
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.sim.program import Compute, Invoke
+from repro.workloads import make_workload
+from tests.integration.test_machine_basic import ScriptedWorkload
+
+
+def spinning_invoke():
+    """An AR that computes forever: attempts never reach XEnd."""
+
+    def build(workload):
+        def body():
+            while True:
+                yield Compute(1)
+
+        return Invoke(("scripted", "spin"), body)
+
+    return build
+
+
+class TestLivelock:
+    def test_never_committing_run_raises_livelock(self):
+        workload = ScriptedWorkload({0: [spinning_invoke()]})
+        config = SimConfig.for_letter(
+            "B", num_cores=2, watchdog_cycles=5_000, max_cycles=10_000_000
+        )
+        machine = Machine(config, workload, seed=1)
+        with pytest.raises(LivelockError) as excinfo:
+            machine.run()
+        err = excinfo.value
+        assert isinstance(err, SimulationStallError)
+        assert err.stats.total_commits == 0
+        spinner = err.diagnostic["cores"][0]
+        assert spinner["phase"] == "body"
+        assert spinner["mode"] == "speculative"
+        assert spinner["attempt_ops"] > 0
+
+    def test_watchdog_disabled_by_default(self):
+        # The same spinner without a watchdog runs into the cycle limit
+        # instead: the two stall classes stay distinguishable.
+        workload = ScriptedWorkload({0: [spinning_invoke()]})
+        config = SimConfig.for_letter("B", num_cores=2, max_cycles=20_000)
+        machine = Machine(config, workload, seed=1)
+        with pytest.raises(CycleLimitExceeded):
+            machine.run()
+
+    def test_watchdog_tolerates_committing_runs(self):
+        config = SimConfig.for_letter("C", num_cores=4, watchdog_cycles=50_000)
+        machine = Machine(
+            config, make_workload("hashmap", ops_per_thread=8), seed=1
+        )
+        stats = machine.run()
+        assert stats.total_commits > 0
+
+
+class TestDeadlock:
+    def test_all_parked_raises_deadlock_with_diagnostics(self, monkeypatch):
+        # Force every step to park: the heap drains with cores waiting
+        # on a release that can never come.
+        monkeypatch.setattr(
+            executor_module.CoreExecutor, "step",
+            lambda self, now: (executor_module.STEP_BLOCK, "test"),
+        )
+        config = SimConfig.for_letter("B", num_cores=3)
+        machine = Machine(
+            config, make_workload("mwobject", ops_per_thread=2), seed=1
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        err = excinfo.value
+        assert "cores [0, 1, 2]" in str(err)
+        assert len(err.diagnostic["cores"]) == 3
+        for entry in err.diagnostic["cores"]:
+            assert entry["parked_since"] is not None
+        assert err.diagnostic["lock_table"] == {}
+        assert err.stats is machine.stats
+
+    def test_diagnostic_dump_is_json_serializable(self, monkeypatch):
+        import json
+
+        monkeypatch.setattr(
+            executor_module.CoreExecutor, "step",
+            lambda self, now: (executor_module.STEP_BLOCK, "test"),
+        )
+        config = SimConfig.for_letter("C", num_cores=2)
+        machine = Machine(
+            config, make_workload("hashmap", ops_per_thread=2), seed=1
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            machine.run()
+        json.dumps(excinfo.value.diagnostic)  # must not raise
+
+
+class TestCycleLimit:
+    def test_diagnostic_names_unfinished_cores(self):
+        config = SimConfig.for_letter("B", num_cores=4, max_cycles=500)
+        machine = Machine(
+            config, make_workload("labyrinth", ops_per_thread=10), seed=1
+        )
+        with pytest.raises(CycleLimitExceeded) as excinfo:
+            machine.run()
+        err = excinfo.value
+        assert err.stats.truncated
+        assert any(not entry["finished"] for entry in err.diagnostic["cores"])
+        assert err.diagnostic["total_commits"] == err.stats.total_commits
