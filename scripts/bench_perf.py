@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Measure simulator throughput on a pinned cell set; track BENCH_PERF.json.
+
+The perf harness the hot-path work is graded against. It runs a fixed,
+representative set of cells — one data-structure benchmark (hashmap),
+one STAMP application (genome), and one high-contention pattern
+(mwobject), each under the baseline (B) and CLEAR (C) configurations at
+8 and 32 cores — and reports wall-seconds, event-loop pops
+(``machine.event_count``), and events/second (best-of ``--reps``, so
+one noisy rep cannot sandbag a cell).
+
+Modes:
+
+- default: measure the pinned cells and print a table. ``--json OUT``
+  also dumps the measurement in the BENCH_PERF cell schema.
+- ``--compare``: additionally print per-cell speedup against the last
+  trajectory point recorded in BENCH_PERF.json.
+- ``--record LABEL``: append a new trajectory point to BENCH_PERF.json,
+  using the current measurement as "after" and ``--before FILE`` (a
+  prior ``--json`` dump) as "before".
+- ``--micro``: shrink every cell to 4 cores / 4 ops so CI can smoke the
+  harness in seconds. Micro numbers are for plumbing checks only and
+  are refused by ``--record``.
+
+Simulated results are deterministic, so ``events`` must match across
+reps and across code changes; wall time is the only thing that moves.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+BENCH_PERF_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_PERF.json")
+
+#: (workload, config letter, num_cores) — the pinned measurement cells.
+CELLS = tuple(
+    (workload, letter, cores)
+    for workload in ("hashmap", "genome", "mwobject")
+    for letter in ("B", "C")
+    for cores in (8, 32)
+)
+
+OPS_PER_THREAD = 16
+SEED = 1
+HEADLINE_CELL = "genome/B/32c"
+
+
+def cell_name(workload, letter, cores):
+    return "{}/{}/{}c".format(workload, letter, cores)
+
+
+def measure_cell(workload, letter, cores, ops_per_thread, reps):
+    """Best-of-``reps`` wall time for one cell; returns the cell dict."""
+    config = SimConfig.for_letter(letter, num_cores=cores)
+    best_wall = None
+    events = commits = aborts = None
+    for _ in range(reps):
+        machine = Machine(
+            config, make_workload(workload, ops_per_thread=ops_per_thread),
+            seed=SEED,
+        )
+        started = time.perf_counter()
+        stats = machine.run()
+        wall = time.perf_counter() - started
+        rep_events = machine.event_count
+        if events is not None and rep_events != events:
+            raise AssertionError(
+                "non-deterministic event count for {}: {} vs {}".format(
+                    cell_name(workload, letter, cores), rep_events, events
+                )
+            )
+        events = rep_events
+        commits = sum(stats.commits_by_mode.values())
+        aborts = sum(stats.aborts_by_reason.values())
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "workload": workload,
+        "config": letter,
+        "num_cores": cores,
+        "ops_per_thread": ops_per_thread,
+        "seed": SEED,
+        "events": events,
+        "wall_seconds": round(best_wall, 4),
+        "events_per_second": round(events / best_wall, 1),
+        "commits": commits,
+        "aborts": aborts,
+    }
+
+
+def run_measurement(reps, ops_per_thread, cores_override=None, progress=print):
+    cells = {}
+    for workload, letter, cores in CELLS:
+        if cores_override is not None:
+            cores = cores_override
+        name = cell_name(workload, letter, cores)
+        if name in cells:  # cores_override collapses the 8/32 pair
+            continue
+        cell = measure_cell(workload, letter, cores, ops_per_thread, reps)
+        cells[name] = cell
+        progress(
+            "{:18s} {:>9,} events  {:7.3f}s  {:>10,.1f} ev/s".format(
+                name, cell["events"], cell["wall_seconds"],
+                cell["events_per_second"],
+            )
+        )
+    return {"cells": cells}
+
+
+def speedups(before_cells, after_cells):
+    """Per-cell events/sec ratio for cells present in both measurements."""
+    ratios = {}
+    for name, after in sorted(after_cells.items()):
+        before = before_cells.get(name)
+        if before is None:
+            continue
+        if before.get("events") != after.get("events"):
+            raise AssertionError(
+                "cell {} simulated differently before vs after "
+                "({} vs {} events) — speedup would be meaningless".format(
+                    name, before.get("events"), after.get("events")
+                )
+            )
+        ratios[name] = round(
+            after["events_per_second"] / before["events_per_second"], 2
+        )
+    return ratios
+
+
+def record_trajectory(path, label, before, after, date):
+    """Append a trajectory point to BENCH_PERF.json (creating it if new)."""
+    if os.path.exists(path):
+        with open(path) as handle:
+            book = json.load(handle)
+    else:
+        book = {
+            "schema_version": 1,
+            "description": (
+                "Throughput trajectory of the simulator hot path. Each "
+                "trajectory point pins before/after measurements of the "
+                "same deterministic cells (best-of-N wall time, identical "
+                "event counts) around one performance PR."
+            ),
+            "headline_cell": HEADLINE_CELL,
+            "cell_schema": {
+                "events": "event-loop pops (machine.event_count; deterministic)",
+                "wall_seconds": "best-of-reps wall time of Machine.run",
+                "events_per_second": "events / wall_seconds",
+            },
+            "trajectory": [],
+        }
+    ratios = speedups(before["cells"], after["cells"])
+    point = {
+        "label": label,
+        "date": date,
+        "before": before["cells"],
+        "after": after["cells"],
+        "speedup": ratios,
+        "headline_speedup": ratios.get(book.get("headline_cell", HEADLINE_CELL)),
+    }
+    book["trajectory"] = [
+        existing for existing in book["trajectory"]
+        if existing["label"] != label
+    ] + [point]
+    with open(path, "w") as handle:
+        json.dump(book, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return point
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=3, metavar="N",
+        help="repetitions per cell; best wall time wins (default: 3)",
+    )
+    parser.add_argument(
+        "--micro", action="store_true",
+        help="CI smoke mode: 4 cores, 4 ops/thread (not recordable)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="dump the measurement as JSON (cell schema of BENCH_PERF.json)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="print speedups vs the last trajectory point in BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL", default=None,
+        help="append a trajectory point to BENCH_PERF.json (needs --before)",
+    )
+    parser.add_argument(
+        "--before", metavar="FILE", default=None,
+        help="prior --json dump used as the 'before' half of --record",
+    )
+    parser.add_argument(
+        "--date", metavar="YYYY-MM-DD", default=None,
+        help="date stamped on a --record point (default: today)",
+    )
+    parser.add_argument(
+        "--bench-file", metavar="FILE", default=BENCH_PERF_PATH,
+        help="trajectory book path (default: repo BENCH_PERF.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        parser.error("--reps must be >= 1")
+    if args.record and not args.before:
+        parser.error("--record requires --before FILE")
+    if args.record and args.micro:
+        parser.error("--micro measurements are not recordable")
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    ops = 4 if args.micro else OPS_PER_THREAD
+    cores = 4 if args.micro else None
+    started = time.time()
+    measurement = run_measurement(args.reps, ops, cores_override=cores)
+    print("measured {} cell(s) in {:.1f}s (best of {} rep(s))".format(
+        len(measurement["cells"]), time.time() - started, args.reps))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(measurement, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote {}".format(args.json))
+    if args.compare:
+        with open(args.bench_file) as handle:
+            book = json.load(handle)
+        if not book["trajectory"]:
+            print("no trajectory points in {}".format(args.bench_file))
+        else:
+            last = book["trajectory"][-1]
+            ratios = speedups(last["after"], measurement["cells"])
+            print("vs trajectory point {!r}:".format(last["label"]))
+            for name, ratio in sorted(ratios.items()):
+                print("  {:18s} {:5.2f}x".format(name, ratio))
+    if args.record:
+        with open(args.before) as handle:
+            before = json.load(handle)
+        date = args.date or time.strftime("%Y-%m-%d")
+        point = record_trajectory(
+            args.bench_file, args.record, before, measurement, date)
+        print("recorded {!r}: headline ({}) speedup {}x".format(
+            point["label"], HEADLINE_CELL, point["headline_speedup"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,9 +2,11 @@
 """Run the full experiment matrix and dump every figure's data to JSON.
 
 Used to populate EXPERIMENTS.md. Scale is chosen via the positional
-argument: ``quick`` (8 cores), ``medium`` (32 cores, 3 seeds — the
-default), ``sweep`` (reduced retry sweep), or ``paper`` (32 cores, 10
-seeds, retry sweep; hours serially).
+argument: ``micro`` (4 cores, seconds — the equivalence-suite scale),
+``quick`` (8 cores), ``medium`` (32 cores, 3 seeds — the default),
+``sweep`` (reduced retry sweep), or ``paper`` (32 cores, 10 seeds,
+retry sweep; hours serially). ``--profile`` wraps every simulated cell
+in cProfile and prints an aggregated top-15 cumulative table.
 
 The matrix fans out over worker processes (``--jobs``, default: all
 cores) and memoizes finished cells in a content-addressed on-disk
@@ -21,19 +23,11 @@ import sys
 import time
 
 from repro.analysis.experiments import (
-    CONFIG_LETTERS,
     ExperimentSettings,
-    fig1_retry_immutability,
-    fig8_execution_time,
-    fig9_aborts_per_commit,
-    fig10_energy,
-    fig11_abort_breakdown,
-    fig12_commit_modes,
-    fig13_retry_bound,
-    headline_summary,
+    figure_payload,
     run_config_matrix,
 )
-from repro.sim.engine import DEFAULT_CACHE_DIR
+from repro.sim.engine import DEFAULT_CACHE_DIR, ExperimentEngine
 
 
 def settings_for(scale):
@@ -50,6 +44,8 @@ def settings_for(scale):
         return ExperimentSettings(
             num_cores=32, ops_per_thread=16, seeds=(1, 2, 3), trim=0
         )
+    if scale == "micro":
+        return ExperimentSettings.micro()
     return ExperimentSettings.quick()
 
 
@@ -96,6 +92,18 @@ def parse_args(argv):
         help="wall-clock budget per cell; hung cells are retried then "
              "quarantined and the sweep degrades to a partial matrix",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run every simulated cell under cProfile, dump per-cell "
+             ".prof files next to the cache dir, and print a top-15 "
+             "cumulative-time table (cache hits are not profiled)",
+    )
+    parser.add_argument(
+        "--debug-conflict-check", action="store_true",
+        help="cross-validate the sharer-index conflict path against the "
+             "legacy full peer scan on every resolution (slow; any "
+             "divergence raises)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1, not {}".format(args.jobs))
@@ -127,8 +135,13 @@ def main(argv=None):
         )
     if args.oracle:
         settings.config_overrides["oracle"] = True
+    if args.debug_conflict_check:
+        settings.config_overrides["debug_conflict_check"] = True
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache_dir = None if args.no_cache else args.cache_dir
+    profile_dir = None
+    if args.profile:
+        profile_dir = (cache_dir or DEFAULT_CACHE_DIR) + ".profiles"
     started = time.time()
 
     def engine_progress(event):
@@ -149,50 +162,25 @@ def main(argv=None):
             flush=True,
         )
 
+    engine = ExperimentEngine(
+        jobs=jobs, cache_dir=cache_dir, progress=engine_progress,
+        cell_timeout=args.cell_timeout, profile_dir=profile_dir,
+    )
     report = None
     if args.cell_timeout is not None:
         matrix, report = run_config_matrix(
-            settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
-            engine_progress=engine_progress, cell_timeout=args.cell_timeout,
-            allow_partial=True,
+            settings, progress=progress, engine=engine, allow_partial=True,
         )
     else:
-        matrix = run_config_matrix(
-            settings, progress=progress, jobs=jobs, cache_dir=cache_dir,
-            engine_progress=engine_progress,
-        )
+        matrix = run_config_matrix(settings, progress=progress, engine=engine)
 
-    times, discovery = fig8_execution_time(matrix)
     payload = {
         "scale": args.scale,
         "num_cores": settings.num_cores,
         "seeds": list(settings.seeds),
-        "fig1": fig1_retry_immutability(matrix),
-        "fig8_times": {k: v for k, v in times.items()},
-        "fig8_discovery": discovery,
-        "fig9": fig9_aborts_per_commit(matrix),
-        "fig10": fig10_energy(matrix),
-        "fig11": {
-            name: {
-                letter: {cat.value: share for cat, share in shares.items()}
-                for letter, shares in per_config.items()
-            }
-            for name, per_config in fig11_abort_breakdown(matrix).items()
-        },
-        "fig12": {
-            name: {
-                letter: {mode.value: share for mode, share in shares.items()}
-                for letter, shares in per_config.items()
-            }
-            for name, per_config in fig12_commit_modes(matrix).items()
-        },
-        "fig13": {
-            name: {letter: list(triple) for letter, triple in per_config.items()}
-            for name, per_config in fig13_retry_bound(matrix).items()
-        },
-        "headline": headline_summary(matrix),
-        "elapsed_seconds": time.time() - started,
     }
+    payload.update(figure_payload(matrix))
+    payload["elapsed_seconds"] = time.time() - started
     if args.chaos is not None:
         payload["chaos"] = {
             "fault_spurious_rate": args.chaos,
@@ -213,6 +201,26 @@ def main(argv=None):
         print("WARNING: {} of {} cells failed; matrix is partial "
               "(see \"failures\" in {})".format(
                   len(report.failures), report.total, args.out))
+    if profile_dir is not None:
+        print_profile_summary(profile_dir)
+
+
+def print_profile_summary(profile_dir, top=15):
+    """Aggregate every per-cell .prof and print the hottest functions."""
+    import glob
+    import pstats
+
+    prof_files = sorted(glob.glob(os.path.join(profile_dir, "*.prof")))
+    if not prof_files:
+        print("no profiles written (every cell served from cache?); "
+              "re-run with --no-cache to profile")
+        return
+    stats = pstats.Stats(prof_files[0])
+    for path in prof_files[1:]:
+        stats.add(path)
+    print("\naggregated {} cell profile(s) from {}".format(
+        len(prof_files), profile_dir))
+    stats.sort_stats("cumulative").print_stats(top)
 
 
 if __name__ == "__main__":

@@ -52,6 +52,17 @@ class ExperimentSettings:
         return cls(benchmarks=benchmarks)
 
     @classmethod
+    def micro(cls, benchmarks=ALL_NAMES):
+        """Smallest full-matrix scale: 4 cores, 2 seeds, tiny regions.
+
+        Runs all 19 benchmarks across B/P/C/W in seconds; used by the
+        conflict-equivalence suite (whose goldens are generated at this
+        scale) and anywhere a complete but cheap matrix is needed.
+        """
+        return cls(benchmarks=benchmarks, num_cores=4, ops_per_thread=6,
+                   seeds=(1, 2), trim=0)
+
+    @classmethod
     def paper(cls, benchmarks=ALL_NAMES):
         """The paper's methodology: 32 cores, 10 seeds, trimmed mean, sweep."""
         return cls(
@@ -339,4 +350,41 @@ def headline_summary(matrix):
         "fallback_share_B": retries["average"]["B"][2],
         "fallback_share_C": retries["average"]["C"][2],
         "fallback_share_W": retries["average"]["W"][2],
+    }
+
+
+def figure_payload(matrix):
+    """Every figure's data as one JSON-serializable dict.
+
+    The single source of the figure-JSON shape: the experiment script
+    wraps this with run metadata (scale, seeds, elapsed time), and the
+    equivalence suite compares it byte-for-byte against committed
+    goldens — so any change to a figure projection shows up in both.
+    """
+    times, discovery = fig8_execution_time(matrix)
+    return {
+        "fig1": fig1_retry_immutability(matrix),
+        "fig8_times": {k: v for k, v in times.items()},
+        "fig8_discovery": discovery,
+        "fig9": fig9_aborts_per_commit(matrix),
+        "fig10": fig10_energy(matrix),
+        "fig11": {
+            name: {
+                letter: {cat.value: share for cat, share in shares.items()}
+                for letter, shares in per_config.items()
+            }
+            for name, per_config in fig11_abort_breakdown(matrix).items()
+        },
+        "fig12": {
+            name: {
+                letter: {mode.value: share for mode, share in shares.items()}
+                for letter, shares in per_config.items()
+            }
+            for name, per_config in fig12_commit_modes(matrix).items()
+        },
+        "fig13": {
+            name: {letter: list(triple) for letter, triple in per_config.items()}
+            for name, per_config in fig13_retry_bound(matrix).items()
+        },
+        "headline": headline_summary(matrix),
     }

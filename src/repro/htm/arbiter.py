@@ -54,8 +54,57 @@ class Resolution:
         )
 
 
+#: Shared "no conflict" outcome for the hot path: resolving against a
+#: line nobody tracks must not allocate. Victims is rebound to an empty
+#: tuple so accidental mutation of the shared instance fails loudly.
+NO_CONFLICT = Resolution()
+NO_CONFLICT.victims = ()
+
+
 class ConflictArbiter:
     """Pure conflict-resolution policy (no machine state)."""
+
+    def resolve_line(self, requester_core, line, is_write, requester_failed,
+                     sharers, power_core=None, requester_unstoppable=False):
+        """Arbitrate a request against a line's sharer vector.
+
+        O(sharers) drop-in for :meth:`resolve`: ``sharers`` is the
+        :class:`~repro.htm.sharer_index.LineSharers` entry for ``line``
+        (or None when nobody tracks it), and ``power_core`` the single
+        power-token holder (or None). Equivalence with the full peer
+        scan rests on the index invariant — it contains exactly the
+        lines of conflict-visible attempts (doomed/failed/NS-CL cores
+        are never registered), and at most one core holds the power
+        token, so "first conflicting power peer in core order" and
+        "power holder among the conflicting set" pick the same core.
+        """
+        if requester_failed or sharers is None:
+            # Non-aborting request, or a line outside every live
+            # footprint (the overwhelmingly common case).
+            return NO_CONFLICT
+
+        writers = sharers.writers
+        if is_write:
+            readers = sharers.readers
+            if readers:
+                conflicting = readers | writers if writers else set(readers)
+            else:
+                conflicting = set(writers)
+        else:
+            if not writers:
+                return NO_CONFLICT
+            conflicting = set(writers)
+        conflicting.discard(requester_core)
+        if not conflicting:
+            return NO_CONFLICT
+
+        if (power_core is not None and not requester_unstoppable
+                and power_core in conflicting):
+            return Resolution(
+                requester_abort_reason=AbortReason.NACKED,
+                nacking_core=power_core,
+            )
+        return Resolution(victims=sorted(conflicting))
 
     def resolve(self, requester_core, line, is_write, requester_failed, peers,
                 requester_unstoppable=False):

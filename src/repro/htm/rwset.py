@@ -7,9 +7,21 @@ by a per-set associativity check, which is how capacity aborts actually
 arise in set-associative hardware (a hot set overflows long before the
 total capacity does).
 
+The associativity check is O(1) per access: per-cache-set occupancy
+counters are bumped as lines are tracked, alongside a count of sets
+currently over their associativity. The semantics match a full re-walk
+of the sets exactly, including the asymmetry that a union overflow
+*created* by a write (which only checks the write set against L1)
+surfaces as a "read" capacity abort on the next newly-read line.
+
 Speculative stores are buffered word-granular in the transaction; they
 become architecturally visible only at commit. Loads snoop the buffer
 first (store-to-load forwarding within the AR).
+
+When constructed with ``index``/``core``, every newly tracked line is
+also registered in the machine-global :class:`~repro.htm.sharer_index.
+SharerIndex`, and ``detach_index`` (called on abort/commit/zombie)
+withdraws all of them; see that module for the visibility invariant.
 """
 
 from repro.memory.address import line_of_word
@@ -32,7 +44,15 @@ class ReadWriteSets:
     L2 geometry. ``None`` disables a check (used by unit tests).
     """
 
-    def __init__(self, l1_sets=64, l1_assoc=12, l2_sets=1024, l2_assoc=8):
+    __slots__ = (
+        "_l1_sets", "_l1_assoc", "_l2_sets", "_l2_assoc",
+        "read_set", "write_set", "_write_buffer",
+        "_index", "_core",
+        "_union_counts", "_union_over", "_write_counts", "_write_over",
+    )
+
+    def __init__(self, l1_sets=64, l1_assoc=12, l2_sets=1024, l2_assoc=8,
+                 index=None, core=None):
         self._l1_sets = l1_sets
         self._l1_assoc = l1_assoc
         self._l2_sets = l2_sets
@@ -40,29 +60,64 @@ class ReadWriteSets:
         self.read_set = set()
         self.write_set = set()
         self._write_buffer = {}
+        self._index = index
+        self._core = core
+        # Occupancy per cache set: union (read|write) against L2
+        # geometry, write set against L1 geometry, plus how many sets
+        # currently exceed their associativity.
+        self._union_counts = {}
+        self._union_over = 0
+        self._write_counts = {}
+        self._write_over = 0
 
     def record_read(self, line):
         """Track a speculatively read line; raises on overflow."""
         if line in self.read_set:
             return
         self.read_set.add(line)
-        if self._l2_sets is not None and not self._fits(
-            self.read_set | self.write_set, self._l2_sets, self._l2_assoc
-        ):
-            raise CapacityExceeded("read", line)
+        index = self._index
+        if index is not None:
+            index.add_reader(self._core, line)
+        if self._l2_sets is not None:
+            if line not in self.write_set:
+                counts = self._union_counts
+                idx = line % self._l2_sets
+                count = counts.get(idx, 0) + 1
+                counts[idx] = count
+                if count == self._l2_assoc + 1:
+                    self._union_over += 1
+            if self._union_over:
+                raise CapacityExceeded("read", line)
 
     def record_write(self, line):
         """Track a speculatively written line; raises on overflow."""
         if line in self.write_set:
             return
         self.write_set.add(line)
-        if self._l1_sets is not None and not self._fits(
-            self.write_set, self._l1_sets, self._l1_assoc
-        ):
-            raise CapacityExceeded("write", line)
+        index = self._index
+        if index is not None:
+            index.add_writer(self._core, line)
+        if self._l2_sets is not None and line not in self.read_set:
+            counts = self._union_counts
+            idx = line % self._l2_sets
+            count = counts.get(idx, 0) + 1
+            counts[idx] = count
+            if count == self._l2_assoc + 1:
+                self._union_over += 1
+        if self._l1_sets is not None:
+            counts = self._write_counts
+            idx = line % self._l1_sets
+            count = counts.get(idx, 0) + 1
+            counts[idx] = count
+            if count == self._l1_assoc + 1:
+                self._write_over += 1
+            if self._write_over:
+                raise CapacityExceeded("write", line)
 
     @staticmethod
     def _fits(lines, num_sets, assoc):
+        # Reference implementation of the capacity rule; the hot path
+        # uses the incremental counters, and tests cross-check the two.
         per_set = {}
         for line in lines:
             idx = line % num_sets
@@ -70,6 +125,40 @@ class ReadWriteSets:
             if per_set[idx] > assoc:
                 return False
         return True
+
+    def counters_consistent(self):
+        """True iff the incremental counters match a fresh re-walk."""
+        union_ok = write_ok = True
+        if self._l2_sets is not None:
+            expected = {}
+            for line in self.read_set | self.write_set:
+                idx = line % self._l2_sets
+                expected[idx] = expected.get(idx, 0) + 1
+            over = sum(1 for c in expected.values() if c > self._l2_assoc)
+            union_ok = (expected == self._union_counts
+                        and over == self._union_over)
+        if self._l1_sets is not None:
+            expected = {}
+            for line in self.write_set:
+                idx = line % self._l1_sets
+                expected[idx] = expected.get(idx, 0) + 1
+            over = sum(1 for c in expected.values() if c > self._l1_assoc)
+            write_ok = (expected == self._write_counts
+                        and over == self._write_over)
+        return union_ok and write_ok
+
+    # -- sharer index ------------------------------------------------------
+
+    def detach_index(self):
+        """Withdraw this attempt's lines from the machine sharer index.
+
+        Idempotent; called when the core leaves conflict detection
+        (abort, commit, or zombie via ``pending_abort``).
+        """
+        index = self._index
+        if index is not None:
+            index.drop_core(self._core, self.read_set, self.write_set)
+            self._index = None
 
     # -- speculative store buffer ------------------------------------------
 
@@ -89,9 +178,14 @@ class ReadWriteSets:
 
     def discard(self):
         """Abort: throw away all speculative state."""
+        self.detach_index()
         self.read_set.clear()
         self.write_set.clear()
         self._write_buffer.clear()
+        self._union_counts.clear()
+        self._union_over = 0
+        self._write_counts.clear()
+        self._write_over = 0
 
     def conflicts_with_write(self, line):
         """Would a remote write to ``line`` conflict with this tx?"""

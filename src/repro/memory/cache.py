@@ -61,7 +61,7 @@ class SetAssocCache:
 
     def contains(self, line):
         """True if the line is currently resident."""
-        return line in self._sets[self.set_index(line)]
+        return line in self._sets[line % self.num_sets]
 
     def touch(self, line):
         """Mark the line most recently used. Returns True if resident."""
@@ -78,21 +78,31 @@ class SetAssocCache:
         residency and whose ``evicted`` is the victim line id or None.
         Raises :class:`OverflowError` if the set is full of pinned lines.
         """
-        entries = self._sets[self.set_index(line)]
+        hit = line in self._sets[line % self.num_sets]
+        return CacheLookup(hit=hit, evicted=self.install(line))
+
+    def install(self, line):
+        """Allocation-free :meth:`insert`: returns the victim line or None.
+
+        The per-access fill path only needs the eviction victim, so this
+        skips the :class:`CacheLookup` construction (three per memory
+        access otherwise).
+        """
+        entries = self._sets[line % self.num_sets]
         if line in entries:
             entries.move_to_end(line)
-            return CacheLookup(hit=True)
-        evicted = None
+            return None
         if len(entries) >= self.assoc:
             victim = self._find_victim(entries)
             if victim is None:
                 raise OverflowError(
-                    "cache set {} has all ways pinned".format(self.set_index(line))
+                    "cache set {} has all ways pinned".format(line % self.num_sets)
                 )
             del entries[victim]
-            evicted = victim
+            entries[line] = False
+            return victim
         entries[line] = False
-        return CacheLookup(hit=False, evicted=evicted)
+        return None
 
     @staticmethod
     def _find_victim(entries):

@@ -15,6 +15,8 @@ exclusive, lock silently; otherwise lock the directory set).
 
 from repro.memory.address import directory_set_of_line
 
+_NO_SHARERS = frozenset()
+
 
 class DirectoryEntry:
     """Coherence metadata for one cacheline."""
@@ -88,10 +90,18 @@ class Directory:
         """
         found = self.entry(line)
         previous_owner = found.owner if found.owner not in (None, core) else None
-        invalidated = {c for c in found.sharers if c != core}
-        if previous_owner is not None:
-            invalidated.add(previous_owner)
-        found.sharers.clear()
+        sharers = found.sharers
+        if sharers:
+            invalidated = {c for c in sharers if c != core}
+            if previous_owner is not None:
+                invalidated.add(previous_owner)
+            sharers.clear()
+        elif previous_owner is not None:
+            invalidated = {previous_owner}
+        else:
+            # Private re-write, the overwhelmingly common case: nothing
+            # to invalidate and nothing to allocate.
+            invalidated = _NO_SHARERS
         found.owner = core
         return previous_owner, invalidated
 
@@ -120,6 +130,23 @@ class Directory:
         if found.owner is not None:
             held.add(found.owner)
         return held
+
+    def held_elsewhere(self, core, line):
+        """True if any core other than ``core`` holds a copy.
+
+        Allocation-free equivalent of ``holders(line) - {core}`` for the
+        per-write upgrade classification.
+        """
+        found = self._entries.get(line)
+        if found is None:
+            return False
+        owner = found.owner
+        if owner is not None and owner != core:
+            return True
+        sharers = found.sharers
+        if not sharers:
+            return False
+        return len(sharers) > 1 or core not in sharers
 
     # -- directory-set (group) locks --------------------------------------
 

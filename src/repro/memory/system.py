@@ -17,6 +17,9 @@ from repro.memory.directory import Directory
 from repro.memory.locking import LockManager
 
 
+_NO_CORES = frozenset()
+
+
 class AccessResult:
     """Outcome of a performance-model memory access."""
 
@@ -25,7 +28,9 @@ class AccessResult:
     def __init__(self, latency, level, invalidated_cores=(), source_core=None):
         self.latency = latency
         self.level = level
-        self.invalidated_cores = frozenset(invalidated_cores)
+        self.invalidated_cores = (
+            frozenset(invalidated_cores) if invalidated_cores else _NO_CORES
+        )
         self.source_core = source_core
 
     def __repr__(self):
@@ -76,59 +81,59 @@ class MemorySystem:
         return self._read(core, line)
 
     def _read(self, core, line):
-        level, latency, source = self._classify(core, line, is_write=False)
+        # Classification for reads needs no directory state: a private
+        # hit is a hit wherever the other copies live.
+        if self.l1[core].contains(line):
+            level, latency = "L1", self.l1_latency
+        elif self.l2[core].contains(line):
+            level, latency = "L2", self.l2_latency
+        elif self.l3.contains(line):
+            level, latency = "L3", self.l3_latency
+        else:
+            level, latency = "MEM", self.mem_latency
+        source = None
         previous_owner = self.directory.record_read(core, line)
-        if previous_owner is not None and level in ("L3", "MEM"):
+        if previous_owner is not None and (level == "L3" or level == "MEM"):
             level, latency, source = "C2C", self.c2c_latency, previous_owner
         self._fill(core, line)
         return AccessResult(latency, level, source_core=source)
 
     def _write(self, core, line):
-        level, latency, source = self._classify(core, line, is_write=True)
+        in_l1 = self.l1[core].contains(line)
+        if in_l1 or self.l2[core].contains(line):
+            if self.directory.is_owner(core, line):
+                level, latency = (
+                    ("L1", self.l1_latency) if in_l1 else ("L2", self.l2_latency)
+                )
+            elif self.directory.held_elsewhere(core, line):
+                # Upgrade: invalidation round through the directory.
+                level, latency = "UPG", self.l3_latency
+            elif in_l1:
+                level, latency = "L1", self.l1_latency
+            else:
+                level, latency = "L2", self.l2_latency
+        elif self.l3.contains(line):
+            level, latency = "L3", self.l3_latency
+        else:
+            level, latency = "MEM", self.mem_latency
+        source = None
         previous_owner, invalidated = self.directory.record_write(core, line)
-        if previous_owner is not None and level in ("L3", "MEM"):
+        if previous_owner is not None and (level == "L3" or level == "MEM"):
             level, latency, source = "C2C", self.c2c_latency, previous_owner
         for victim in invalidated:
             self._invalidate_private(victim, line)
         self._fill(core, line)
         return AccessResult(latency, level, invalidated, source)
 
-    def _classify(self, core, line, is_write):
-        in_l1 = self.l1[core].contains(line)
-        in_l2 = self.l2[core].contains(line)
-        owner_here = self.directory.is_owner(core, line)
-        shared_elsewhere = bool(self.directory.holders(line) - {core})
-        if is_write:
-            if (in_l1 or in_l2) and owner_here:
-                return ("L1" if in_l1 else "L2"), (
-                    self.l1_latency if in_l1 else self.l2_latency
-                ), None
-            if (in_l1 or in_l2) and shared_elsewhere:
-                # Upgrade: invalidation round through the directory.
-                return "UPG", self.l3_latency, None
-            if in_l1:
-                return "L1", self.l1_latency, None
-            if in_l2:
-                return "L2", self.l2_latency, None
-        else:
-            if in_l1:
-                return "L1", self.l1_latency, None
-            if in_l2:
-                return "L2", self.l2_latency, None
-        if self.l3.contains(line):
-            return "L3", self.l3_latency, None
-        return "MEM", self.mem_latency, None
-
     def _fill(self, core, line):
-        self.l3.insert(line)
-        l2_result = self.l2[core].insert(line)
-        if l2_result.evicted is not None:
-            self._drop_private_line(core, l2_result.evicted)
-        l1_result = self.l1[core].insert(line)
-        if l1_result.evicted is not None and not self.l2[core].contains(
-            l1_result.evicted
-        ):
-            self.directory.drop(core, l1_result.evicted)
+        self.l3.install(line)
+        l2 = self.l2[core]
+        l2_evicted = l2.install(line)
+        if l2_evicted is not None:
+            self._drop_private_line(core, l2_evicted)
+        l1_evicted = self.l1[core].install(line)
+        if l1_evicted is not None and not l2.contains(l1_evicted):
+            self.directory.drop(core, l1_evicted)
 
     def _drop_private_line(self, core, line):
         """A line left the private L2: enforce inclusion and update directory."""

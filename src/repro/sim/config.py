@@ -119,6 +119,11 @@ class SimConfig:
     # Livelock watchdog: trip when no AR commits within this many
     # cycles while cores are still runnable (0 disables).
     watchdog_cycles: int = 0
+    # Cross-validate every sharer-index conflict resolution against the
+    # legacy full peer scan (the oracle path); any divergence raises
+    # ConflictIndexMismatch. Host-time cost only, zero simulated-time
+    # effect — results are identical either way.
+    debug_conflict_check: bool = False
 
     def __post_init__(self):
         if self.num_cores <= 0:

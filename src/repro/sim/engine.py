@@ -27,7 +27,9 @@ serial, parallel, and cached runs are indistinguishable downstream.
 
 import collections
 import concurrent.futures
+import cProfile
 import dataclasses
+import functools
 import hashlib
 import json
 import os
@@ -96,6 +98,29 @@ def execute_spec(spec):
         seed=spec.seed,
     )
     return result.to_dict()
+
+
+def execute_spec_profiled(spec, profile_dir):
+    """:func:`execute_spec` under cProfile, dumping a per-cell ``.prof``.
+
+    The profile file name encodes the workload, config letter, seed,
+    and a cache-key prefix, so a sweep's profiles are self-describing
+    and collision-free. Module-level (wrapped by ``functools.partial``)
+    so the parallel path can pickle it.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = execute_spec(spec)
+    finally:
+        profile.disable()
+    os.makedirs(profile_dir, exist_ok=True)
+    name = "{}-{}-s{}-{}.prof".format(
+        spec.workload, spec.config.config_letter, spec.seed,
+        spec.cache_key()[:8],
+    )
+    profile.dump_stats(os.path.join(profile_dir, name))
+    return result
 
 
 class DiskCache:
@@ -286,7 +311,7 @@ class ExperimentEngine:
 
     def __init__(self, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None,
                  cell_timeout=None, max_cell_retries=2,
-                 retry_backoff_seconds=0.5):
+                 retry_backoff_seconds=0.5, profile_dir=None):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, not {}".format(self.jobs))
@@ -299,6 +324,15 @@ class ExperimentEngine:
         self.cell_timeout = cell_timeout
         self.max_cell_retries = max_cell_retries
         self.retry_backoff_seconds = retry_backoff_seconds
+        self.profile_dir = profile_dir
+        # Cells served from cache are never profiled — only actual
+        # simulation work produces a .prof file.
+        if profile_dir is None:
+            self._execute = execute_spec
+        else:
+            self._execute = functools.partial(
+                execute_spec_profiled, profile_dir=profile_dir
+            )
 
     def run_specs(self, specs):
         """Simulate (or recall) every spec; results in spec order.
@@ -397,7 +431,7 @@ class ExperimentEngine:
         failures = []
         for index in misses:
             try:
-                result = execute_spec(specs[index])
+                result = self._execute(specs[index])
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -436,7 +470,7 @@ class ExperimentEngine:
                 while pending and len(inflight) < cap:
                     index = pending.popleft()
                     attempts[index] += 1
-                    future = pool.submit(execute_spec, specs[index])
+                    future = pool.submit(self._execute, specs[index])
                     deadline = None
                     if self.cell_timeout is not None:
                         deadline = time.monotonic() + self.cell_timeout

@@ -52,6 +52,18 @@ STEP_DONE = "done"
 class CoreExecutor:
     """One core's execution state."""
 
+    __slots__ = (
+        "core", "machine", "config", "controller", "phase", "mode", "rng",
+        "invocation", "counting_retries", "attempt_index", "next_mode",
+        "saved_discovery", "invocation_aborts", "first_abort_footprint",
+        "fig1_recorded", "discovery", "rwsets", "gen", "gen_send_value",
+        "attempt_ops", "attempt_loads",
+        "attempt_stores", "pending_abort", "_fault_abort_at",
+        "_fault_abort_reason", "fallback_read_held", "fallback_write_held",
+        "locked_lines", "_lock_groups", "_lock_group_idx", "_lock_set_held",
+        "finish_time",
+    )
+
     def __init__(self, core, machine, controller=None):
         self.core = core
         self.machine = machine
@@ -74,7 +86,6 @@ class CoreExecutor:
         self.rwsets = None
         self.gen = None
         self.gen_send_value = None
-        self.attempt_footprint = set()
         self.attempt_ops = 0
         self.attempt_loads = 0
         self.attempt_stores = 0
@@ -176,7 +187,6 @@ class CoreExecutor:
 
     def _start_attempt(self):
         self.attempt_index += 1
-        self.attempt_footprint = set()
         self.attempt_ops = 0
         self.attempt_loads = 0
         self.attempt_stores = 0
@@ -239,12 +249,16 @@ class CoreExecutor:
         return self._start_attempt()
 
     def _new_rwsets(self):
+        # Indexed: every tracked line registers in the machine-global
+        # sharer index so conflict checks probe only actual sharers.
         config = self.config
         return ReadWriteSets(
             l1_sets=config.l1_size // (64 * config.l1_assoc),
             l1_assoc=config.l1_assoc,
             l2_sets=config.l2_size // (64 * config.l2_assoc),
             l2_assoc=config.l2_assoc,
+            index=self.machine.sharer_index,
+            core=self.core,
         )
 
     # ------------------------------------------------------------------
@@ -334,9 +348,8 @@ class CoreExecutor:
         # Taking a line exclusively conflicts with every speculative peer
         # tracking it, exactly like a write request: requester wins,
         # unless a power-mode peer nacks us (§5.2).
-        resolution = machine.arbiter.resolve(
-            self.core, entry.line, True, requester_failed=False,
-            peers=machine.peer_views(exclude=self.core),
+        resolution = machine.resolve_conflict(
+            self.core, entry.line, True,
             requester_unstoppable=self.mode is ExecMode.NS_CL,
         )
         if resolution.requester_abort_reason is not None:
@@ -472,15 +485,19 @@ class CoreExecutor:
         raise TypeError("AR body yielded unknown op {!r}".format(op))
 
     def _exec_memory_op(self, op, is_store):
+        # Hot path: runs once per memory operation. Everything touched
+        # more than once is bound to a local up front.
         machine = self.machine
         memsys = machine.memsys
-        line = line_of_word(op.word_addr)
-        self.attempt_footprint.add(line)
+        mode = self.mode
+        rwsets = self.rwsets
+        discovery = self.discovery
+        word_addr = op.word_addr
+        line = line_of_word(word_addr)
         if is_store:
             self.attempt_stores += 1
         else:
             self.attempt_loads += 1
-        mode = self.mode
 
         # NS-CL guarantee: every access must be within the learned,
         # locked footprint. A deviation disproves immutability.
@@ -503,28 +520,27 @@ class CoreExecutor:
 
         # Failed-mode stores never leave the SQ: no coherence request.
         if mode is ExecMode.FAILED_DISCOVERY and is_store:
-            self.discovery.on_store(line, op.addr_tainted)
-            if self.rwsets is not None:
+            discovery.on_store(line, op.addr_tainted)
+            if rwsets is not None:
                 try:
-                    self.rwsets.record_write(line)
+                    rwsets.record_write(line)
                 except CapacityExceeded:
                     return self._abort_attempt(AbortReason.CAPACITY)
-                self.rwsets.buffer_store(op.word_addr, op.store_value)
-            if self.discovery.exhausted:
+                rwsets.buffer_store(word_addr, op.store_value)
+            if discovery.exhausted:
                 return self._conclude_exhausted_failed_discovery()
             return self._busy(1, failed_discovery=True)
 
-        # Conflict arbitration (failed-mode loads are non-aborting).
-        # Fallback runs under mutual exclusion: every speculative AR was
-        # aborted when the lock was taken and none can begin while it is
-        # held, so its direct (unrecoverable) stores never arbitrate.
+        # Conflict arbitration (failed-mode loads are non-aborting):
+        # probe the sharer index for this line instead of scanning every
+        # core. Fallback runs under mutual exclusion: every speculative
+        # AR was aborted when the lock was taken and none can begin
+        # while it is held, so its direct (unrecoverable) stores never
+        # arbitrate.
         if mode is not ExecMode.FALLBACK:
-            resolution = machine.arbiter.resolve(
-                self.core,
-                line,
-                is_store,
+            resolution = machine.resolve_conflict(
+                self.core, line, is_store,
                 requester_failed=mode is ExecMode.FAILED_DISCOVERY,
-                peers=machine.peer_views(exclude=self.core),
             )
             if resolution.requester_abort_reason is not None:
                 return self._abort_attempt(resolution.requester_abort_reason)
@@ -538,40 +554,40 @@ class CoreExecutor:
             latency += machine.faults.jitter(self.core)
 
         # Speculative set tracking / capacity.
-        if self.rwsets is not None:
+        if rwsets is not None:
             try:
                 if is_store:
-                    self.rwsets.record_write(line)
+                    rwsets.record_write(line)
                 else:
-                    self.rwsets.record_read(line)
+                    rwsets.record_read(line)
             except CapacityExceeded:
-                if self.discovery is not None:
+                if discovery is not None:
                     entry = self.controller.ert.ensure(self.invocation.region_id)
                     entry.is_convertible = False
                 return self._abort_attempt(AbortReason.CAPACITY)
 
         # Discovery footprint and indirection tracking.
         failed = mode is ExecMode.FAILED_DISCOVERY
-        if self.discovery is not None:
+        if discovery is not None:
             if is_store:
-                self.discovery.on_store(line, op.addr_tainted)
+                discovery.on_store(line, op.addr_tainted)
             else:
-                self.discovery.on_load(line, op.addr_tainted)
-            if failed and self.discovery.exhausted:
+                discovery.on_load(line, op.addr_tainted)
+            if failed and discovery.exhausted:
                 return self._conclude_exhausted_failed_discovery()
 
         # Architectural data movement.
         if is_store:
-            if self.rwsets is not None:
-                self.rwsets.buffer_store(op.word_addr, op.store_value)
+            if rwsets is not None:
+                rwsets.buffer_store(word_addr, op.store_value)
             else:
-                machine.memory.store(op.word_addr, op.store_value)
+                machine.memory.store(word_addr, op.store_value)
             return self._busy(latency, failed_discovery=failed)
-        if self.rwsets is not None:
-            forwarded = self.rwsets.forwarded_load(op.word_addr)
-            value = forwarded if forwarded is not None else machine.memory.load(op.word_addr)
+        if rwsets is not None:
+            forwarded = rwsets.forwarded_load(word_addr)
+            value = forwarded if forwarded is not None else machine.memory.load(word_addr)
         else:
-            value = machine.memory.load(op.word_addr)
+            value = machine.memory.load(word_addr)
         self.gen_send_value = TaintedValue(value, tainted=True)
         return self._busy(latency, failed_discovery=failed)
 
@@ -647,6 +663,11 @@ class CoreExecutor:
             self.controller.note_scl_conflicting_read(line)
         if self.pending_abort is None:
             self.pending_abort = AbortReason.MEMORY_CONFLICT
+        # Zombie from here on: the legacy scan hides a doomed peer via
+        # peer_view() -> None, so the index must forget it at the same
+        # instant.
+        if self.rwsets is not None:
+            self.rwsets.detach_index()
 
     def _abort_attempt(self, reason, decided_mode=None):
         machine = self.machine
@@ -701,6 +722,10 @@ class CoreExecutor:
         return (STEP_DELAY, self.config.tx_abort_cycles + backoff)
 
     def _clear_attempt_state(self):
+        if self.rwsets is not None:
+            # Commit reaches here without a discard(); abort and zombie
+            # paths already detached (idempotent either way).
+            self.rwsets.detach_index()
         self.gen = None
         self.gen_send_value = None
         self.discovery = None

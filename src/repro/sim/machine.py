@@ -13,6 +13,7 @@ paper's directory-retry rule).
 import heapq
 
 from repro.common.errors import (
+    ConflictIndexMismatch,
     CycleLimitExceeded,
     DeadlockError,
     LivelockError,
@@ -24,6 +25,7 @@ from repro.core.modes import ExecMode
 from repro.htm.arbiter import ConflictArbiter
 from repro.htm.fallback import FallbackLock
 from repro.htm.powertm import PowerToken
+from repro.htm.sharer_index import SharerIndex
 from repro.memory.address import line_of_word
 from repro.memory.shared import Allocator, SharedMemory
 from repro.memory.system import MemorySystem
@@ -70,7 +72,17 @@ class Machine:
         self.fallback = FallbackLock(line_of_word(fallback_word))
         self.power = PowerToken()
         self.arbiter = ConflictArbiter()
+        # Reverse sharer index: line -> (readers, writers) over every
+        # conflict-visible attempt, so conflict checks probe the actual
+        # sharers instead of scanning all cores (see htm/sharer_index).
+        self.sharer_index = SharerIndex()
+        self._sharer_get = self.sharer_index.get
+        self._debug_conflict_check = config.debug_conflict_check
+        self.conflict_cross_checks = 0
         self.stats = MachineStats(config.num_cores)
+        # Event-loop pops in the last run() (host-side perf metric; not
+        # part of MachineStats so result serialization is unchanged).
+        self.event_count = 0
         workload.setup(
             self.memory,
             self.allocator,
@@ -129,6 +141,56 @@ class Machine:
                 views.append(view)
         return views
 
+    def resolve_conflict(self, core, line, is_write, requester_failed=False,
+                         requester_unstoppable=False):
+        """Arbitrate one memory request via the sharer index.
+
+        O(sharers of ``line``); equivalent to arbitrating against
+        :meth:`peer_views` (which stays as the oracle path — enable
+        ``debug_conflict_check`` to cross-validate every resolution).
+        """
+        resolution = self.arbiter.resolve_line(
+            core, line, is_write, requester_failed,
+            self._sharer_get(line),
+            power_core=self.power.holder,
+            requester_unstoppable=requester_unstoppable,
+        )
+        if self._debug_conflict_check:
+            self._cross_check_resolution(
+                core, line, is_write, requester_failed,
+                requester_unstoppable, resolution,
+            )
+        return resolution
+
+    def _cross_check_resolution(self, core, line, is_write, requester_failed,
+                                requester_unstoppable, resolution):
+        self.conflict_cross_checks += 1
+        legacy = self.arbiter.resolve(
+            core, line, is_write, requester_failed,
+            peers=self.peer_views(exclude=core),
+            requester_unstoppable=requester_unstoppable,
+        )
+        if (list(resolution.victims) != list(legacy.victims)
+                or resolution.requester_abort_reason
+                is not legacy.requester_abort_reason
+                or resolution.nacking_core != legacy.nacking_core):
+            raise ConflictIndexMismatch(
+                "sharer-index resolution diverged from the legacy peer "
+                "scan for core {} {} line {}".format(
+                    core, "writing" if is_write else "reading", line
+                ),
+                details={
+                    "core": core,
+                    "line": line,
+                    "is_write": is_write,
+                    "requester_failed": requester_failed,
+                    "requester_unstoppable": requester_unstoppable,
+                    "indexed": repr(resolution),
+                    "legacy": repr(legacy),
+                    "sharers": repr(self.sharer_index.get(line)),
+                },
+            )
+
     def abort_all_speculative(self, reason, exclude):
         """Fallback acquisition: doom every in-flight speculative AR."""
         for executor in self.executors:
@@ -142,6 +204,9 @@ class Machine:
                     "the read lock should have prevented this"
                 )
             executor.pending_abort = reason
+            # Doomed: invisible to conflict detection from this point.
+            if executor.rwsets is not None:
+                executor.rwsets.detach_index()
 
     def notify_release(self):
         """Some lock/guard was released: wake all parked cores."""
@@ -169,63 +234,73 @@ class Machine:
         faults = self.faults
         watchdog = config.watchdog_cycles
         validate_interval = oracle.validate_interval if oracle is not None else 0
+        # Hot loop: bind everything touched per pop to locals.
+        executors = self.executors
+        stats = self.stats
+        max_cycles = config.max_cycles
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         heap = []
         for core in range(config.num_cores):
-            heapq.heappush(heap, (0, core))
+            heappush(heap, (0, core))
         parked = {}
         now = 0
         events = 0
         watchdog_commits = 0
         watchdog_progress_cycle = 0
+        self.event_count = 0
         while heap:
-            now, core = heapq.heappop(heap)
-            if now > config.max_cycles:
-                self.stats.truncated = True
-                self.stats.makespan_cycles = max(self.stats.makespan_cycles, now)
+            now, core = heappop(heap)
+            if now > max_cycles:
+                self.event_count = events
+                stats.truncated = True
+                stats.makespan_cycles = max(stats.makespan_cycles, now)
                 raise CycleLimitExceeded(
                     "cycle limit {} exceeded with the workload unfinished "
                     "({} of {} cores done)".format(
-                        config.max_cycles,
-                        sum(1 for ex in self.executors if ex.finish_time is not None),
+                        max_cycles,
+                        sum(1 for ex in executors if ex.finish_time is not None),
                         config.num_cores,
                     ),
                     diagnostic=self.diagnostic_dump(now, parked),
-                    stats=self.stats,
+                    stats=stats,
                 )
             events += 1
             if validate_interval and events % validate_interval == 0:
                 oracle.sample()
             if watchdog and events % WATCHDOG_CHECK_EVENTS == 0:
-                commits = self.stats.total_commits
+                commits = stats.total_commits
                 if commits != watchdog_commits:
                     watchdog_commits = commits
                     watchdog_progress_cycle = now
                 elif now - watchdog_progress_cycle > watchdog:
+                    self.event_count = events
                     raise LivelockError(
                         "no AR committed in the last {} cycles (cycle {}, "
                         "{} commits so far) while cores keep executing".format(
                             now - watchdog_progress_cycle, now, commits
                         ),
                         diagnostic=self.diagnostic_dump(now, parked),
-                        stats=self.stats,
+                        stats=stats,
                     )
-            executor = self.executors[core]
-            kind, payload = executor.step(now)
+            kind, payload = executors[core].step(now)
             if kind == STEP_DELAY:
-                heapq.heappush(heap, (now + max(1, payload), core))
+                heappush(heap, (now + (payload if payload > 1 else 1), core))
             elif kind == STEP_BLOCK:
                 parked[core] = now
             elif kind != STEP_DONE:
+                self.event_count = events
                 raise SimulationError("unknown step result {!r}".format(kind))
             if self._release_pending:
                 self._release_pending = False
                 for parked_core, park_time in parked.items():
-                    self.stats.add_wait(parked_core, max(0, now - park_time))
+                    stats.add_wait(parked_core, max(0, now - park_time))
                     wake = max(park_time, now) + 1
                     if faults is not None:
                         wake += faults.wakeup_delay(parked_core)
-                    heapq.heappush(heap, (wake, parked_core))
+                    heappush(heap, (wake, parked_core))
                 parked.clear()
+        self.event_count = events
         if parked:
             raise DeadlockError(
                 "deadlock: cores {} parked with no runnable core to release "

@@ -13,10 +13,14 @@ Checked invariants:
 3. fallback writer and readers never coexist;
 4. a core holding cacheline locks is in a CL mode (or fallback never);
 5. the power token holder, if any, is a valid core id;
-6. L1 contents are included in L2 (private-cache inclusion).
+6. L1 contents are included in L2 (private-cache inclusion);
+7. the machine-global sharer index equals a from-scratch rebuild over
+   the conflict-visible attempts (phase BODY, speculative non-failed
+   mode, live rwsets, no pending abort).
 """
 
 from repro.common.errors import ProtocolError
+from repro.core.modes import ExecMode
 
 
 def validate_machine(machine):
@@ -25,6 +29,7 @@ def validate_machine(machine):
     _validate_fallback(machine)
     _validate_power(machine)
     _validate_inclusion(machine)
+    _validate_sharer_index(machine)
     return True
 
 
@@ -74,6 +79,36 @@ def _validate_power(machine):
     holder = machine.power.holder
     if holder is not None and not 0 <= holder < machine.config.num_cores:
         raise ProtocolError("power token held by non-core {}".format(holder))
+
+
+def _validate_sharer_index(machine):
+    expected = {}
+    for executor in machine.executors:
+        if not executor.in_flight_speculative:
+            continue
+        if executor.pending_abort is not None:
+            continue
+        if executor.mode is ExecMode.FAILED_DISCOVERY:
+            continue
+        rwsets = executor.rwsets
+        if rwsets is None:
+            continue
+        core = executor.core
+        for line in rwsets.read_set:
+            expected.setdefault(line, (set(), set()))[0].add(core)
+        for line in rwsets.write_set:
+            expected.setdefault(line, (set(), set()))[1].add(core)
+    actual = machine.sharer_index.snapshot()
+    rebuilt = {
+        line: (frozenset(readers), frozenset(writers))
+        for line, (readers, writers) in expected.items()
+    }
+    if actual != rebuilt:
+        stale = sorted(set(actual) ^ set(rebuilt))[:8]
+        raise ProtocolError(
+            "sharer index diverged from a from-scratch rebuild "
+            "(first differing lines: {})".format(stale)
+        )
 
 
 def _validate_inclusion(machine):

@@ -110,3 +110,79 @@ class TestStoreBuffer:
         sets.buffer_store(0, 1)   # line 0
         sets.buffer_store(9, 1)   # line 1
         assert sets.written_lines_of_buffer() == {0, 1}
+
+
+class TestCapacityCounters:
+    """Pin the O(1) occupancy counters to the re-walk semantics."""
+
+    def test_hot_set_overflows_before_total_capacity(self):
+        # l1 of 4 sets x 2 ways holds 8 lines total, but three writes
+        # mapping to the same set overflow after just two distinct sets
+        # are touched — the per-set rule, not a total-size rule.
+        sets = ReadWriteSets(l1_sets=4, l1_assoc=2, l2_sets=None, l2_assoc=None)
+        sets.record_write(0)
+        sets.record_write(4)
+        sets.record_write(1)  # different set: fine
+        with pytest.raises(CapacityExceeded) as info:
+            sets.record_write(8)  # third line in set 0
+        assert info.value.which == "write"
+        assert info.value.line == 8
+
+    def test_write_created_union_overflow_aborts_as_read(self):
+        # Writes only check the write set against L1; a union overflow
+        # they create must surface as a "read" abort on the next newly
+        # read line, exactly like the legacy full re-walk did.
+        sets = ReadWriteSets(l1_sets=None, l1_assoc=None, l2_sets=2, l2_assoc=1)
+        sets.record_read(0)
+        sets.record_write(2)  # union set 0 now over L2 assoc; no raise
+        with pytest.raises(CapacityExceeded) as info:
+            sets.record_read(5)  # unrelated set, still aborts
+        assert info.value.which == "read"
+        assert info.value.line == 5
+
+    def test_read_then_write_same_line_counted_once(self):
+        sets = ReadWriteSets(l1_sets=None, l1_assoc=None, l2_sets=2, l2_assoc=1)
+        sets.record_read(0)
+        sets.record_write(0)  # same line: union unchanged
+        sets.record_read(5)   # other set, fine
+        assert sets.counters_consistent()
+
+    def test_write_then_read_same_line_counted_once(self):
+        sets = ReadWriteSets(l1_sets=None, l1_assoc=None, l2_sets=2, l2_assoc=1)
+        sets.record_write(0)
+        sets.record_read(0)
+        assert sets.counters_consistent()
+
+    def test_duplicate_records_leave_counters_alone(self):
+        sets = ReadWriteSets(l1_sets=4, l1_assoc=2, l2_sets=4, l2_assoc=2)
+        for _ in range(3):
+            sets.record_read(1)
+            sets.record_write(2)
+        assert sets.counters_consistent()
+
+    def test_boundary_exactly_at_associativity_is_fine(self):
+        sets = ReadWriteSets(l1_sets=2, l1_assoc=2, l2_sets=None, l2_assoc=None)
+        sets.record_write(0)
+        sets.record_write(2)  # exactly assoc ways in set 0
+        assert sets.counters_consistent()
+        with pytest.raises(CapacityExceeded):
+            sets.record_write(4)
+
+    def test_discard_resets_counters(self):
+        sets = ReadWriteSets(l1_sets=2, l1_assoc=1, l2_sets=2, l2_assoc=1)
+        sets.record_write(0)
+        sets.discard()
+        assert sets.counters_consistent()
+        sets.record_write(0)  # would overflow if the old count survived
+        sets.record_read(1)
+        assert sets.counters_consistent()
+
+    def test_counters_match_reference_fits(self):
+        sets = ReadWriteSets(l1_sets=4, l1_assoc=2, l2_sets=4, l2_assoc=3)
+        for line in (0, 1, 4, 5, 9):
+            sets.record_read(line)
+        for line in (0, 2, 6):
+            sets.record_write(line)
+        assert sets.counters_consistent()
+        assert ReadWriteSets._fits(sets.write_set, 4, 2)
+        assert ReadWriteSets._fits(sets.read_set | sets.write_set, 4, 3)
