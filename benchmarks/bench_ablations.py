@@ -17,23 +17,20 @@ Four studies, each isolating one mechanism the paper argues for:
    benchmarks are indifferent, wide STAMP regions need HTM.
 """
 
+from repro import api
 from repro.analysis.report import render_table
 from repro.sim.config import SimConfig
-from repro.sim.runner import run_seeds
-from repro.workloads import make_workload
 
 SEEDS = (1, 2, 3)
 CORES = 8
 OPS = 12
 
 
-def factory(name):
-    return lambda: make_workload(name, ops_per_thread=OPS)
-
-
 def run(name, **overrides):
     config = SimConfig.for_letter("C", num_cores=CORES, **overrides)
-    return run_seeds(factory(name), config, seeds=SEEDS, trim=0)
+    return api.run_seeds(
+        name, config, seeds=SEEDS, trim=0, ops_per_thread=OPS
+    )
 
 
 BENCHMARKS = ("mwobject", "arrayswap", "queue", "bitcoin", "intruder", "bst")
@@ -143,11 +140,11 @@ def test_ablation_retry_threshold(benchmark):
         table = {}
         for name in names:
             table[name] = {
-                threshold: run_seeds(
-                    factory(name),
+                threshold: api.run_seeds(
+                    name,
                     SimConfig.for_letter("B", num_cores=CORES,
                                          retry_threshold=threshold),
-                    seeds=SEEDS, trim=0,
+                    seeds=SEEDS, trim=0, ops_per_thread=OPS,
                 ).cycles
                 for threshold in thresholds
             }

@@ -9,7 +9,7 @@ rate, and which execution modes committed.
 Usage:  python examples/quickstart.py
 """
 
-from repro import SimConfig, make_workload, run_workload
+from repro import SimConfig, api
 from repro.core.modes import ExecMode
 
 
@@ -31,12 +31,11 @@ def describe(result):
 def main():
     results = {}
     for letter in ("B", "W"):
-        config = SimConfig.for_letter(letter, num_cores=16)
-        result = run_workload(
-            lambda: make_workload("mwobject", ops_per_thread=20),
-            config,
-            seed=1,
+        report = api.simulate(
+            "mwobject", SimConfig.for_letter(letter, num_cores=16),
+            seeds=1, ops_per_thread=20,
         )
+        result = report.run
         results[letter] = result
         label = {
             "B": "B - requester-wins baseline",

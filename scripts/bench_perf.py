@@ -18,20 +18,27 @@ Modes:
 - ``--record LABEL``: append a new trajectory point to BENCH_PERF.json,
   using the current measurement as "after" and ``--before FILE`` (a
   prior ``--json`` dump) as "before".
-- ``--micro``: shrink every cell to 4 cores / 4 ops so CI can smoke the
-  harness in seconds. Micro numbers are for plumbing checks only and
-  are refused by ``--record``.
+- ``--scale micro`` (alias ``--micro``): shrink every cell to 4 cores /
+  4 ops so CI can smoke the harness in seconds. Micro numbers are for
+  plumbing checks only and are refused by ``--record``.
+- ``--trace OUT.json`` / ``--trace-report OUT.txt``: run one extra,
+  untimed traced rep of the headline cell and export it (Chrome/
+  Perfetto trace and forensic abort report). The shared engine flags
+  (``--jobs``/``--cache-dir``/``--no-cache``) apply to this auxiliary
+  rep only — timed reps always run serially in-process, uncached, so
+  wall-clock numbers stay meaningful.
 
 Simulated results are deterministic, so ``events`` must match across
 reps and across code changes; wall time is the only thing that moves.
 """
 
-import argparse
 import json
 import os
 import sys
 import time
 
+from repro import api, cli
+from repro.cli import argparse
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
@@ -180,10 +187,14 @@ def parse_args(argv):
         "--reps", type=int, default=3, metavar="N",
         help="repetitions per cell; best wall time wins (default: 3)",
     )
+    cli.add_scale_flag(parser, ("full", "micro"), default="full")
     parser.add_argument(
         "--micro", action="store_true",
-        help="CI smoke mode: 4 cores, 4 ops/thread (not recordable)",
+        help="CI smoke mode: 4 cores, 4 ops/thread (alias for "
+             "--scale micro; not recordable)",
     )
+    cli.add_engine_flags(parser)
+    cli.add_trace_flags(parser)
     parser.add_argument(
         "--json", metavar="OUT", default=None,
         help="dump the measurement as JSON (cell schema of BENCH_PERF.json)",
@@ -209,19 +220,48 @@ def parse_args(argv):
         help="trajectory book path (default: repo BENCH_PERF.json)",
     )
     args = parser.parse_args(argv)
+    cli.validate_engine_flags(parser, args)
+    if args.micro:
+        args.scale = "micro"
     if args.reps < 1:
         parser.error("--reps must be >= 1")
     if args.record and not args.before:
         parser.error("--record requires --before FILE")
-    if args.record and args.micro:
-        parser.error("--micro measurements are not recordable")
+    if args.record and args.scale == "micro":
+        parser.error("micro-scale measurements are not recordable")
     return args
+
+
+def export_trace(args, micro):
+    """One extra, untimed traced rep of the headline cell, exported.
+
+    Goes through :func:`repro.api.simulate` with an engine built from
+    the shared flags, so ``--jobs``/``--cache-dir`` behave exactly as in
+    ``run_experiments.py``; wall-time measurement above is unaffected.
+    """
+    workload, letter, cores = "genome", "B", (4 if micro else 32)
+    ops = 4 if micro else OPS_PER_THREAD
+    report = api.simulate(
+        workload, SimConfig.for_letter(letter, num_cores=cores),
+        seeds=SEED, ops_per_thread=ops, trace=True,
+        engine=cli.build_engine(args),
+    )
+    print("traced {} seed={} ({} events)".format(
+        cell_name(workload, letter, cores), SEED, len(report.trace)))
+    if args.trace:
+        report.write_chrome_trace(args.trace)
+        print("wrote Chrome trace {} (load in Perfetto / chrome://tracing)"
+              .format(args.trace))
+    if args.trace_report:
+        report.write_forensic_report(args.trace_report)
+        print("wrote forensic report {}".format(args.trace_report))
 
 
 def main(argv=None):
     args = parse_args(argv if argv is not None else sys.argv[1:])
-    ops = 4 if args.micro else OPS_PER_THREAD
-    cores = 4 if args.micro else None
+    micro = args.scale == "micro"
+    ops = 4 if micro else OPS_PER_THREAD
+    cores = 4 if micro else None
     started = time.time()
     measurement = run_measurement(args.reps, ops, cores_override=cores)
     print("measured {} cell(s) in {:.1f}s (best of {} rep(s))".format(
@@ -250,6 +290,8 @@ def main(argv=None):
             args.bench_file, args.record, before, measurement, date)
         print("recorded {!r}: headline ({}) speedup {}x".format(
             point["label"], HEADLINE_CELL, point["headline_speedup"]))
+    if cli.wants_trace(args):
+        export_trace(args, micro)
 
 
 if __name__ == "__main__":

@@ -14,20 +14,26 @@ cache (``--cache-dir``, default ``.exp_cache``), so re-runs and
 crashed sweeps resume for free; ``--no-cache`` forces fresh
 simulation. Figure JSON is byte-identical (modulo ``elapsed_seconds``)
 whatever the job count, because every cell is independently seeded.
+
+``--trace OUT.json`` additionally exports a Chrome/Perfetto trace of
+one representative cell (first benchmark, config B, first seed) and
+``--trace-report OUT.txt`` its per-region forensic abort report; both
+run after the matrix and never change the figure JSON.
 """
 
-import argparse
 import json
 import os
 import sys
 import time
 
+from repro import api, cli
 from repro.analysis.experiments import (
     ExperimentSettings,
     figure_payload,
     run_config_matrix,
 )
-from repro.sim.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+from repro.cli import argparse
+from repro.sim.engine import DEFAULT_CACHE_DIR
 
 
 def settings_for(scale):
@@ -60,18 +66,8 @@ def parse_args(argv):
         "out", nargs="?", default=".exp_results.json",
         help="output JSON path (default: .exp_results.json)",
     )
-    parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes (default: all cores; 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
-        help="on-disk result cache root (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the on-disk cache entirely",
-    )
+    cli.add_engine_flags(parser)
+    cli.add_trace_flags(parser)
     parser.add_argument(
         "--benchmarks", default=None, metavar="A,B,...",
         help="comma-separated benchmark subset (default: all 19)",
@@ -105,8 +101,7 @@ def parse_args(argv):
              "divergence raises)",
     )
     args = parser.parse_args(argv)
-    if args.jobs is not None and args.jobs < 1:
-        parser.error("--jobs must be >= 1, not {}".format(args.jobs))
+    cli.validate_engine_flags(parser, args)
     if args.chaos is not None and not 0.0 <= args.chaos <= 1.0:
         parser.error("--chaos RATE must be in [0, 1], not {}".format(args.chaos))
     if args.cell_timeout is not None and args.cell_timeout <= 0:
@@ -137,8 +132,8 @@ def main(argv=None):
         settings.config_overrides["oracle"] = True
     if args.debug_conflict_check:
         settings.config_overrides["debug_conflict_check"] = True
-    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
-    cache_dir = None if args.no_cache else args.cache_dir
+    jobs = cli.resolve_jobs(args)
+    cache_dir = cli.resolve_cache_dir(args)
     profile_dir = None
     if args.profile:
         profile_dir = (cache_dir or DEFAULT_CACHE_DIR) + ".profiles"
@@ -162,8 +157,8 @@ def main(argv=None):
             flush=True,
         )
 
-    engine = ExperimentEngine(
-        jobs=jobs, cache_dir=cache_dir, progress=engine_progress,
+    engine = cli.build_engine(
+        args, progress=engine_progress,
         cell_timeout=args.cell_timeout, profile_dir=profile_dir,
     )
     report = None
@@ -201,8 +196,36 @@ def main(argv=None):
         print("WARNING: {} of {} cells failed; matrix is partial "
               "(see \"failures\" in {})".format(
                   len(report.failures), report.total, args.out))
+    if cli.wants_trace(args):
+        export_trace(settings, engine, args)
     if profile_dir is not None:
         print_profile_summary(profile_dir)
+
+
+def export_trace(settings, engine, args):
+    """Trace one representative cell and write the requested exports.
+
+    Runs after (and independently of) the matrix, so the figure JSON is
+    byte-identical with or without ``--trace``. The representative cell
+    is the first benchmark of the scale under the baseline (B)
+    configuration on the first seed — the same simulation the matrix
+    ran, re-executed with an event trace attached (a traced cell keys
+    the cache separately, so neither run pollutes the other's entries).
+    """
+    name = settings.benchmarks[0]
+    report = api.simulate(
+        name, settings.config_for("B"), seeds=settings.seeds[0],
+        ops_per_thread=settings.ops_per_thread, trace=True, engine=engine,
+    )
+    print("traced {}/B/{}c seed={} ({} events)".format(
+        name, settings.num_cores, settings.seeds[0], len(report.trace)))
+    if args.trace:
+        report.write_chrome_trace(args.trace)
+        print("wrote Chrome trace {} (load in Perfetto / chrome://tracing)"
+              .format(args.trace))
+    if args.trace_report:
+        report.write_forensic_report(args.trace_report)
+        print("wrote forensic report {}".format(args.trace_report))
 
 
 def print_profile_summary(profile_dir, top=15):

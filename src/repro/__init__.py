@@ -13,11 +13,15 @@ A from-scratch Python reproduction of Gómez-Hernández et al., ASPLOS
 
 Quickstart::
 
-    from repro import SimConfig, make_workload, run_workload
+    from repro import api
 
-    config = SimConfig.for_letter("W", num_cores=8)   # CLEAR over PowerTM
-    result = run_workload(lambda: make_workload("mwobject"), config, seed=1)
-    print(result.stats.summary())
+    report = api.simulate("mwobject", "W", seeds=1)   # CLEAR over PowerTM
+    print(report.stats.summary())
+
+:func:`repro.api.simulate` is the single supported entry point; the
+historical ``run_workload``/``run_seeds``/``sweep_retry_threshold``
+trio still works but emits :class:`DeprecationWarning` (see the README
+migration table).
 """
 
 from repro.core.modes import ExecMode
@@ -36,10 +40,19 @@ from repro.sim.runner import (
 )
 from repro.energy.model import EnergyModel
 from repro.workloads import ALL_NAMES, make_workload
+from repro import api, obs
+from repro.api import SimulationReport, simulate
+from repro.obs import EventTrace, MetricRegistry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "obs",
+    "simulate",
+    "SimulationReport",
+    "EventTrace",
+    "MetricRegistry",
     "ExecMode",
     "SimConfig",
     "Machine",

@@ -1,0 +1,121 @@
+"""Shared command-line flag layer for the repro scripts.
+
+``scripts/run_experiments.py`` and ``scripts/bench_perf.py`` (and any
+future tool) get their common knobs from here, so ``--jobs``,
+``--cache-dir``/``--no-cache``, ``--scale`` and the tracing flags parse
+and validate identically everywhere instead of drifting per script.
+
+Usage::
+
+    parser = argparse.ArgumentParser(...)
+    cli.add_engine_flags(parser)           # --jobs/--cache-dir/--no-cache
+    cli.add_scale_flag(parser, ("micro", "full"), default="full")
+    cli.add_trace_flags(parser)            # --trace/--trace-report
+    args = parser.parse_args(argv)
+    cli.validate_engine_flags(parser, args)
+    engine = cli.build_engine(args, progress=..., cell_timeout=...)
+"""
+
+import argparse
+import os
+
+from repro.sim.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+
+
+def add_engine_flags(parser, cache_default=DEFAULT_CACHE_DIR):
+    """Attach the experiment-engine knobs every script shares."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=cache_default, metavar="DIR",
+        help="on-disk result cache root (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache entirely",
+    )
+    return parser
+
+
+def add_scale_flag(parser, choices, default):
+    """Attach the shared ``--scale`` knob (same name in every script)."""
+    parser.add_argument(
+        "--scale", choices=tuple(choices), default=default,
+        help="experiment scale (default: %(default)s)",
+    )
+    return parser
+
+
+def add_trace_flags(parser):
+    """Attach the shared observability flags.
+
+    ``--trace OUT.json`` exports a Chrome/Perfetto ``trace_event`` file
+    for a representative traced run; ``--trace-report OUT.txt`` writes
+    the per-region forensic text report of the same run. Tracing never
+    changes simulated results.
+    """
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="export a Chrome/Perfetto trace of a representative run",
+    )
+    parser.add_argument(
+        "--trace-report", metavar="OUT.txt", default=None,
+        help="write the per-region forensic abort report of the traced run",
+    )
+    return parser
+
+
+def validate_engine_flags(parser, args):
+    """Shared post-parse validation for :func:`add_engine_flags`."""
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1, not {}".format(args.jobs))
+    return args
+
+
+def resolve_jobs(args):
+    """The effective worker count (``--jobs`` or every core)."""
+    if args.jobs is not None:
+        return args.jobs
+    return os.cpu_count() or 1
+
+
+def resolve_cache_dir(args):
+    """The effective cache root, or None when caching is off."""
+    if getattr(args, "no_cache", False):
+        return None
+    return args.cache_dir
+
+
+def build_engine(args, *, progress=None, cell_timeout=None, profile_dir=None,
+                 **extra):
+    """An :class:`ExperimentEngine` wired from the shared flags."""
+    return ExperimentEngine(
+        jobs=resolve_jobs(args),
+        cache_dir=resolve_cache_dir(args),
+        progress=progress,
+        cell_timeout=cell_timeout,
+        profile_dir=profile_dir,
+        **extra,
+    )
+
+
+def wants_trace(args):
+    """True when any tracing output was requested."""
+    return bool(
+        getattr(args, "trace", None) or getattr(args, "trace_report", None)
+    )
+
+
+__all__ = [
+    "add_engine_flags",
+    "add_scale_flag",
+    "add_trace_flags",
+    "validate_engine_flags",
+    "resolve_jobs",
+    "resolve_cache_dir",
+    "build_engine",
+    "wants_trace",
+    "argparse",
+]

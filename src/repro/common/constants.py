@@ -8,3 +8,15 @@ so each cacheline holds 8 words.
 WORD_BYTES = 8
 CACHELINE_BYTES = 64
 WORDS_PER_LINE = CACHELINE_BYTES // WORD_BYTES
+
+#: The paper's outlier policy: every application runs 10 seeds "and the
+#: trimmed mean is used to remove 3 outliers". Single source of truth
+#: for every trim default (runner, aggregate, facade); the literal 3
+#: must not be restated at call sites.
+PAPER_TRIM = 3
+
+#: The retry-threshold sweep deliberately aggregates *un*-trimmed: it
+#: runs 3 seeds per threshold, and trimming 3 of 3 values would warn
+#: and degrade to a plain mean anyway (see trimmed_mean).
+SWEEP_TRIM = 0
+

@@ -33,6 +33,13 @@ class SimulationStallError(SimulationError):
         self.diagnostic = diagnostic if diagnostic is not None else {}
         self.stats = stats
 
+    def __reduce__(self):
+        # Default Exception pickling only carries ``args``, so a stall
+        # raised inside a worker process would arrive at the engine with
+        # its diagnostic and partial stats silently dropped.
+        message = self.args[0] if self.args else ""
+        return (self.__class__, (message, self.diagnostic, self.stats))
+
 
 class DeadlockError(SimulationStallError):
     """Every unfinished core is parked and no event can wake one."""

@@ -1,0 +1,60 @@
+"""Shared dict/JSON round-trip contract for result and config types.
+
+Every serializable value object in the library (configs, per-run stats,
+run/aggregate results, sweep reports) speaks the same two-method
+protocol — ``to_dict()`` producing a JSON-serializable dict and
+``from_dict()`` rebuilding an equivalent object — and inherits the JSON
+conveniences from one place instead of hand-rolling them. The on-disk
+experiment cache, the process-pool result transport, and every script's
+``--out`` file are all ``to_dict()`` output, so "round-trips through
+:class:`Serializable`" is the single compatibility contract a schema
+bump has to preserve.
+"""
+
+import json
+
+
+class Serializable:
+    """Mixin deriving JSON round-trips from ``to_dict``/``from_dict``.
+
+    Subclasses implement :meth:`to_dict` (JSON-serializable dict out)
+    and :meth:`from_dict` (equivalent object back); the mixin supplies
+    ``to_json``/``from_json`` strings and ``write_json``/``read_json``
+    files on top. ``from_dict(to_dict())`` must reconstruct an object
+    whose ``to_dict()`` is equal — tests assert exactly that.
+    """
+
+    def to_dict(self):
+        """This object as a JSON-serializable dict."""
+        raise NotImplementedError(
+            "{} must implement to_dict()".format(type(self).__name__)
+        )
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an equivalent object from :meth:`to_dict` output."""
+        raise NotImplementedError(
+            "{} must implement from_dict()".format(cls.__name__)
+        )
+
+    def to_json(self, *, indent=None, sort_keys=False):
+        """This object as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=sort_keys)
+
+    @classmethod
+    def from_json(cls, text):
+        """Rebuild an equivalent object from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def write_json(self, path, *, indent=2):
+        """Serialize to a file; returns ``path`` for chaining."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=indent)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def read_json(cls, path):
+        """Rebuild an equivalent object from a :meth:`write_json` file."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

@@ -132,7 +132,7 @@ class ConflictArbiter:
         if requester_failed:
             # Non-aborting request: reads may still source data; stores
             # never leave the SQ so they issue no request at all.
-            return Resolution()
+            return NO_CONFLICT
 
         conflicting = []
         for peer in peers:
@@ -152,7 +152,7 @@ class ConflictArbiter:
                 conflicting.append(peer)
 
         if not conflicting:
-            return Resolution()
+            return NO_CONFLICT
 
         for peer in conflicting:
             if peer.is_power and not requester_unstoppable:

@@ -28,6 +28,11 @@ class FallbackLock:
         self._writer = None
         self._readers = set()
         self.writer_acquisitions = 0
+        # Optional trace hook: called as observer(event, core, shared)
+        # with event "acquire"/"release" and shared True for the CL read
+        # guard. Wired by the machine only when a trace sink is
+        # attached; None costs one skipped check per transition.
+        self.observer = None
 
     @property
     def writer(self):
@@ -49,6 +54,8 @@ class FallbackLock:
             return False
         self._writer = core
         self.writer_acquisitions += 1
+        if self.observer is not None:
+            self.observer("acquire", core, False)
         return True
 
     def release_write(self, core):
@@ -58,12 +65,16 @@ class FallbackLock:
                 "core {} releasing fallback lock held by {}".format(core, self._writer)
             )
         self._writer = None
+        if self.observer is not None:
+            self.observer("release", core, False)
 
     def try_acquire_read(self, core):
         """CL-mode guard: shared acquire. True on success."""
         if self._writer is not None:
             return False
         self._readers.add(core)
+        if self.observer is not None:
+            self.observer("acquire", core, True)
         return True
 
     def release_read(self, core):
@@ -73,9 +84,16 @@ class FallbackLock:
                 "core {} releasing read lock it does not hold".format(core)
             )
         self._readers.discard(core)
+        if self.observer is not None:
+            self.observer("release", core, True)
 
     def force_release_any(self, core):
         """Drop whatever hold ``core`` has (abort cleanup)."""
         if self._writer == core:
             self._writer = None
-        self._readers.discard(core)
+            if self.observer is not None:
+                self.observer("release", core, False)
+        if core in self._readers:
+            self._readers.discard(core)
+            if self.observer is not None:
+                self.observer("release", core, True)

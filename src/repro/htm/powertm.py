@@ -14,6 +14,10 @@ class PowerToken:
     def __init__(self):
         self._holder = None
         self.grants = 0
+        # Optional trace hook: observer(event, core) with event
+        # "acquire" (fresh grants only, not idempotent re-grants) or
+        # "release". Wired by the machine only when tracing.
+        self.observer = None
 
     @property
     def holder(self):
@@ -25,6 +29,8 @@ class PowerToken:
         if self._holder is None:
             self._holder = core
             self.grants += 1
+            if self.observer is not None:
+                self.observer("acquire", core)
             return True
         return self._holder == core
 
@@ -32,6 +38,8 @@ class PowerToken:
         """Give the token back; True if this core actually held it."""
         if self._holder == core:
             self._holder = None
+            if self.observer is not None:
+                self.observer("release", core)
             return True
         return False
 

@@ -1,0 +1,72 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The subsystem every profiling and regression harness hangs off:
+
+- :mod:`repro.obs.events` — the typed, timestamped event taxonomy
+  (AR begin/abort/commit, cacheline lock/unlock, fallback entry/exit,
+  power-token handoff, park/wakeup, injected faults).
+- :mod:`repro.obs.trace` — the :class:`TraceSink` protocol and the
+  ring-buffer :class:`EventTrace` the simulator emits into when (and
+  only when) a trace is attached; with no sink attached every hook is
+  a skipped ``None`` check, so default runs pay nothing.
+- :mod:`repro.obs.metrics` — always-on :class:`MetricRegistry` of
+  named counters and power-of-two-bucket histograms backing
+  :class:`~repro.sim.stats.MachineStats`.
+- :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON exporter (one
+  lane per core, AR spans colored by outcome, abort arrows to the
+  enemy core; loads in Perfetto / ``chrome://tracing``).
+- :mod:`repro.obs.report` — the per-region forensic text report
+  ("AR 17 on core 3: 1 speculative abort (WRITE conflict on line
+  0x4a80 with core 9, cycle 12402) -> NS-CL commit at 12873").
+
+Tracing never changes simulated behaviour: figure JSON is
+byte-identical with tracing off and on (enforced by the golden suite).
+"""
+
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.events import (
+    EVENT_KINDS,
+    ARAbort,
+    ARBegin,
+    ARCommit,
+    FallbackAcquire,
+    FallbackRelease,
+    FaultInjected,
+    LockAcquire,
+    LocksRelease,
+    Park,
+    PowerAcquire,
+    PowerRelease,
+    TraceEvent,
+    Wakeup,
+)
+from repro.obs.metrics import Histogram, MetricCounter, MetricRegistry
+from repro.obs.report import forensic_report, region_records, write_forensic_report
+from repro.obs.trace import EventTrace, TraceSink
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "ARBegin",
+    "ARCommit",
+    "ARAbort",
+    "LockAcquire",
+    "LocksRelease",
+    "FallbackAcquire",
+    "FallbackRelease",
+    "PowerAcquire",
+    "PowerRelease",
+    "Park",
+    "Wakeup",
+    "FaultInjected",
+    "TraceSink",
+    "EventTrace",
+    "MetricRegistry",
+    "MetricCounter",
+    "Histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "forensic_report",
+    "region_records",
+    "write_forensic_report",
+]

@@ -1,0 +1,215 @@
+"""Chrome ``trace_event`` JSON exporter.
+
+Converts an :class:`~repro.obs.trace.EventTrace` into the JSON object
+format understood by Perfetto and ``chrome://tracing``:
+
+- one lane (thread) per simulated core, named via ``"M"`` metadata
+  events;
+- one complete (``"ph": "X"``) span per AR attempt, from its
+  ``ar_begin`` to its ``ar_commit``/``ar_abort``, colored by outcome;
+- a flow arrow (``"s"``/``"f"``) from the enemy core's lane to every
+  abort that names one, so conflict chains read directly off the
+  timeline;
+- instant (``"i"``) events for cacheline locks, fallback and
+  power-token transitions, parks/wakeups, and injected faults.
+
+One simulated cycle is rendered as one microsecond of trace time.
+"""
+
+import json
+
+from repro.core.modes import ExecMode
+
+#: Catapult reserved color names, keyed by how the AR attempt ended.
+COMMIT_COLORS = {
+    ExecMode.SPECULATIVE: "good",
+    ExecMode.NS_CL: "vsync_highlight_color",
+    ExecMode.S_CL: "thread_state_runnable",
+    ExecMode.FALLBACK: "bad",
+    ExecMode.FAILED_DISCOVERY: "olive",
+}
+ABORT_COLOR = "terrible"
+
+_MODE_LABELS = {
+    ExecMode.SPECULATIVE: "spec",
+    ExecMode.FAILED_DISCOVERY: "failed",
+    ExecMode.NS_CL: "NS-CL",
+    ExecMode.S_CL: "S-CL",
+    ExecMode.FALLBACK: "fallback",
+}
+
+
+def _region_label(region):
+    if isinstance(region, (tuple, list)):
+        return ":".join(str(part) for part in region)
+    return str(region)
+
+
+def _span(begin, end_cycle, name, color, args):
+    return {
+        "name": name,
+        "cat": "ar",
+        "ph": "X",
+        "ts": begin.cycle,
+        "dur": max(1, end_cycle - begin.cycle),
+        "pid": 0,
+        "tid": begin.core,
+        "cname": color,
+        "args": args,
+    }
+
+
+def _instant(event, name, args=None):
+    return {
+        "name": name,
+        "cat": event.kind,
+        "ph": "i",
+        "s": "t",
+        "ts": event.cycle,
+        "pid": 0,
+        "tid": event.core,
+        "args": args or {},
+    }
+
+
+def chrome_trace(trace, num_cores=None):
+    """The trace as a Chrome ``trace_event`` JSON object (a dict)."""
+    events = []
+    cores = set(range(num_cores)) if num_cores else set()
+    open_begins = {}  # core -> ARBegin of the attempt in flight
+    flow_id = 0
+    for event in trace:
+        kind = event.kind
+        cores.add(event.core)
+        if kind == "ar_begin":
+            open_begins[event.core] = event
+        elif kind == "ar_commit":
+            begin = open_begins.pop(event.core, None)
+            if begin is not None:
+                events.append(_span(
+                    begin, event.cycle,
+                    "AR {} [{}]".format(
+                        _region_label(event.region),
+                        _MODE_LABELS.get(event.mode, "?"),
+                    ),
+                    COMMIT_COLORS.get(event.mode, "good"),
+                    {
+                        "outcome": "commit",
+                        "mode": event.mode.value,
+                        "attempt": event.attempt,
+                        "retries": event.retries,
+                    },
+                ))
+        elif kind == "ar_abort":
+            begin = open_begins.pop(event.core, None)
+            args = {
+                "outcome": "abort",
+                "reason": event.reason.value,
+                "attempt": event.attempt,
+            }
+            if event.line is not None:
+                args["line"] = event.line
+            if event.enemy is not None:
+                args["enemy_core"] = event.enemy
+                args["enemy_write"] = bool(event.enemy_write)
+            if begin is not None:
+                # ``begin.mode``: an attempt that slid into failed-mode
+                # discovery still reports the mode it began in.
+                events.append(_span(
+                    begin, event.cycle,
+                    "AR {} [{}] aborted: {}".format(
+                        _region_label(event.region),
+                        _MODE_LABELS.get(begin.mode, "?"),
+                        event.reason.value,
+                    ),
+                    ABORT_COLOR, args,
+                ))
+            else:
+                # Explicit Fallback: aborted at begin, no span to close.
+                events.append(_instant(
+                    event, "abort: {}".format(event.reason.value), args
+                ))
+            if event.enemy is not None and event.enemy != event.core:
+                cores.add(event.enemy)
+                flow_id += 1
+                events.append({
+                    "name": "conflict", "cat": "abort-arrow", "ph": "s",
+                    "id": flow_id, "ts": event.cycle, "pid": 0,
+                    "tid": event.enemy,
+                })
+                events.append({
+                    "name": "conflict", "cat": "abort-arrow", "ph": "f",
+                    "bp": "e", "id": flow_id, "ts": event.cycle, "pid": 0,
+                    "tid": event.core,
+                })
+        elif kind == "lock_acquire":
+            events.append(_instant(
+                event, "lock 0x{:x}".format(event.line), {"line": event.line}
+            ))
+        elif kind == "locks_release":
+            events.append(_instant(
+                event, "unlock {} line(s)".format(len(event.lines)),
+                {"lines": list(event.lines)},
+            ))
+        elif kind == "fallback_acquire":
+            events.append(_instant(
+                event,
+                "fallback guard (read)" if event.shared else "fallback lock",
+                {"shared": event.shared},
+            ))
+        elif kind == "fallback_release":
+            events.append(_instant(
+                event,
+                "fallback guard released" if event.shared
+                else "fallback released",
+                {"shared": event.shared},
+            ))
+        elif kind == "power_acquire":
+            events.append(_instant(event, "power token"))
+        elif kind == "power_release":
+            events.append(_instant(event, "power token released"))
+        elif kind == "park":
+            events.append(_instant(
+                event, "park ({})".format(event.waiting_on),
+                {"waiting_on": event.waiting_on},
+            ))
+        elif kind == "wakeup":
+            events.append(_instant(
+                event, "wakeup", {"parked_cycles": event.parked_cycles}
+            ))
+        elif kind == "fault_injected":
+            events.append(_instant(
+                event, "injected fault: {}".format(event.reason.value),
+                {"reason": event.reason.value, "attempt": event.attempt},
+            ))
+    metadata = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": "repro simulated machine"},
+    }]
+    for core in sorted(cores):
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": core,
+            "args": {"name": "core {}".format(core)},
+        })
+        metadata.append({
+            "name": "thread_sort_index", "ph": "M", "pid": 0, "tid": core,
+            "args": {"sort_index": core},
+        })
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "unit": "1 trace microsecond = 1 simulated cycle",
+            "emitted": trace.emitted,
+            "dropped": trace.dropped,
+        },
+    }
+
+
+def write_chrome_trace(trace, path, num_cores=None):
+    """Serialize :func:`chrome_trace` output to ``path``."""
+    payload = chrome_trace(trace, num_cores=num_cores)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload

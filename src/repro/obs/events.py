@@ -1,0 +1,284 @@
+"""The typed, timestamped event taxonomy of the simulator.
+
+Every event is a slotted class with a ``kind`` tag and a ``cycle``
+timestamp (simulated cycles). The taxonomy (DESIGN.md §10):
+
+=================== =====================================================
+kind                meaning
+=================== =====================================================
+``ar_begin``        an AR attempt started (any execution mode)
+``ar_commit``       the AR committed (mode, counted retries)
+``ar_abort``        an attempt aborted: reason, conflicting line, enemy
+``lock_acquire``    a CL-mode attempt locked one cacheline
+``locks_release``   bulk release of a core's cacheline locks
+``fallback_acquire`` fallback lock taken (``shared`` = CL read guard)
+``fallback_release`` fallback lock dropped
+``power_acquire``   the PowerTM token was granted
+``power_release``   the PowerTM token was returned
+``park``            a core blocked on a lock/guard (``waiting_on``)
+``wakeup``          a parked core was released (``parked_cycles``)
+``fault_injected``  the chaos layer forced an abort on this attempt
+=================== =====================================================
+
+Events round-trip losslessly through ``to_dict()``/
+:func:`event_from_dict`: enums are stored by value, tuple region ids
+become lists (the same convention as
+:meth:`repro.sim.stats.MachineStats.to_dict`). The dict form is what
+traces serialize as, what crosses process boundaries, and what the
+golden trace suite pins byte-for-byte.
+"""
+
+import enum
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason
+
+#: kind -> event class, populated as subclasses are defined.
+EVENT_KINDS = {}
+
+
+def _jsonify(value):
+    """JSON-safe form of one event field (enums by value, tuples as lists)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+#: Field-name driven parsers inverting :func:`_jsonify` where the JSON
+#: form is ambiguous. Fields are named consistently across the taxonomy
+#: so one table covers every class.
+_FIELD_PARSERS = {
+    "mode": lambda value: None if value is None else ExecMode(value),
+    "reason": lambda value: None if value is None else AbortReason(value),
+    "region": lambda value: tuple(value) if isinstance(value, list) else value,
+    "lines": lambda value: tuple(value),
+}
+
+
+class TraceEvent:
+    """Base of every trace event: a kind tag plus slotted payload."""
+
+    __slots__ = ()
+    kind = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.kind is None:
+            raise TypeError("{} must define a kind tag".format(cls.__name__))
+        if cls.kind in EVENT_KINDS:
+            raise TypeError("duplicate event kind {!r}".format(cls.kind))
+        EVENT_KINDS[cls.kind] = cls
+
+    def to_dict(self):
+        """JSON-serializable form; :func:`event_from_dict` inverts it."""
+        data = {"kind": self.kind}
+        for name in self.__slots__:
+            data[name] = _jsonify(getattr(self, name))
+        return data
+
+    def __eq__(self, other):
+        return (
+            type(other) is type(self)
+            and all(
+                getattr(self, name) == getattr(other, name)
+                for name in self.__slots__
+            )
+        )
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((self.kind,) + tuple(
+            getattr(self, name) for name in self.__slots__
+        ))
+
+    def __repr__(self):
+        fields = ", ".join(
+            "{}={!r}".format(name, getattr(self, name))
+            for name in self.__slots__
+        )
+        return "{}({})".format(type(self).__name__, fields)
+
+
+def event_from_dict(data):
+    """Rebuild a typed event from its ``to_dict()`` form."""
+    cls = EVENT_KINDS.get(data.get("kind"))
+    if cls is None:
+        raise ValueError("unknown trace event kind {!r}".format(data.get("kind")))
+    kwargs = {}
+    for name in cls.__slots__:
+        value = data[name]
+        parser = _FIELD_PARSERS.get(name)
+        kwargs[name] = parser(value) if parser is not None else value
+    return cls(**kwargs)
+
+
+class ARBegin(TraceEvent):
+    """An AR attempt began (speculative, CL, or fallback)."""
+
+    __slots__ = ("cycle", "core", "region", "mode", "attempt")
+    kind = "ar_begin"
+
+    def __init__(self, cycle, core, region, mode, attempt):
+        self.cycle = cycle
+        self.core = core
+        self.region = region
+        self.mode = mode
+        self.attempt = attempt
+
+
+class ARCommit(TraceEvent):
+    """The AR committed after ``retries`` counted retries."""
+
+    __slots__ = ("cycle", "core", "region", "mode", "attempt", "retries")
+    kind = "ar_commit"
+
+    def __init__(self, cycle, core, region, mode, attempt, retries):
+        self.cycle = cycle
+        self.core = core
+        self.region = region
+        self.mode = mode
+        self.attempt = attempt
+        self.retries = retries
+
+
+class ARAbort(TraceEvent):
+    """An attempt aborted.
+
+    ``line``/``enemy``/``enemy_write`` carry the forensic detail for
+    memory conflicts and NACKs: the conflicting cacheline, the core
+    whose access doomed us, and whether that access was a write.
+    ``mode`` is None for an Explicit Fallback abort (the attempt never
+    started — the fallback lock was found taken at begin).
+    """
+
+    __slots__ = ("cycle", "core", "region", "mode", "attempt", "reason",
+                 "line", "enemy", "enemy_write")
+    kind = "ar_abort"
+
+    def __init__(self, cycle, core, region, mode, attempt, reason,
+                 line=None, enemy=None, enemy_write=None):
+        self.cycle = cycle
+        self.core = core
+        self.region = region
+        self.mode = mode
+        self.attempt = attempt
+        self.reason = reason
+        self.line = line
+        self.enemy = enemy
+        self.enemy_write = enemy_write
+
+
+class LockAcquire(TraceEvent):
+    """A CL-mode attempt locked one cacheline."""
+
+    __slots__ = ("cycle", "core", "line")
+    kind = "lock_acquire"
+
+    def __init__(self, cycle, core, line):
+        self.cycle = cycle
+        self.core = core
+        self.line = line
+
+
+class LocksRelease(TraceEvent):
+    """Bulk release of every cacheline lock a core held."""
+
+    __slots__ = ("cycle", "core", "lines")
+    kind = "locks_release"
+
+    def __init__(self, cycle, core, lines):
+        self.cycle = cycle
+        self.core = core
+        self.lines = lines
+
+
+class FallbackAcquire(TraceEvent):
+    """The fallback lock was taken (``shared``: CL read guard vs writer)."""
+
+    __slots__ = ("cycle", "core", "shared")
+    kind = "fallback_acquire"
+
+    def __init__(self, cycle, core, shared):
+        self.cycle = cycle
+        self.core = core
+        self.shared = shared
+
+
+class FallbackRelease(TraceEvent):
+    """The fallback lock was dropped."""
+
+    __slots__ = ("cycle", "core", "shared")
+    kind = "fallback_release"
+
+    def __init__(self, cycle, core, shared):
+        self.cycle = cycle
+        self.core = core
+        self.shared = shared
+
+
+class PowerAcquire(TraceEvent):
+    """The PowerTM token was granted to ``core``."""
+
+    __slots__ = ("cycle", "core")
+    kind = "power_acquire"
+
+    def __init__(self, cycle, core):
+        self.cycle = cycle
+        self.core = core
+
+
+class PowerRelease(TraceEvent):
+    """The PowerTM token was returned by ``core``."""
+
+    __slots__ = ("cycle", "core")
+    kind = "power_release"
+
+    def __init__(self, cycle, core):
+        self.cycle = cycle
+        self.core = core
+
+
+class Park(TraceEvent):
+    """A core blocked on a contended resource.
+
+    ``waiting_on`` is a compact string: ``"line:<id>"`` (cacheline
+    lock), ``"dirset:<id>"`` (directory-set lock), ``"fallback"`` (the
+    fallback lock), or ``"nack"`` (post-NACK backoff park).
+    """
+
+    __slots__ = ("cycle", "core", "waiting_on")
+    kind = "park"
+
+    def __init__(self, cycle, core, waiting_on):
+        self.cycle = cycle
+        self.core = core
+        self.waiting_on = waiting_on
+
+
+class Wakeup(TraceEvent):
+    """A parked core was woken by some lock/guard release."""
+
+    __slots__ = ("cycle", "core", "parked_cycles")
+    kind = "wakeup"
+
+    def __init__(self, cycle, core, parked_cycles):
+        self.cycle = cycle
+        self.core = core
+        self.parked_cycles = parked_cycles
+
+
+class FaultInjected(TraceEvent):
+    """The chaos layer struck this attempt with an injected abort."""
+
+    __slots__ = ("cycle", "core", "reason", "attempt")
+    kind = "fault_injected"
+
+    def __init__(self, cycle, core, reason, attempt):
+        self.cycle = cycle
+        self.core = core
+        self.reason = reason
+        self.attempt = attempt

@@ -1,0 +1,107 @@
+"""Trace sinks: where the simulator's event stream goes.
+
+The simulator takes an optional sink (``Machine(..., trace=sink)``) and
+emits :mod:`repro.obs.events` objects into it behind ``if trace`` /
+``is not None`` guards — with no sink attached the hot path pays one
+skipped comparison per emission site and allocates nothing.
+
+:class:`EventTrace` is the standard sink: a bounded ring buffer that
+keeps the most recent ``capacity`` events and counts what it had to
+drop, so tracing a pathological run cannot exhaust host memory and a
+stall diagnostic can still ship the tail of the story.
+"""
+
+from collections import deque
+
+from repro.obs.events import event_from_dict
+
+
+class TraceSink:
+    """Protocol for trace sinks: anything with an ``emit(event)``.
+
+    A sink must be *truthy* (the emission guard is ``if trace:``), must
+    accept every :class:`~repro.obs.events.TraceEvent` subclass, and
+    must not raise — the simulator treats emission as infallible.
+    :class:`EventTrace` is the reference implementation; a custom sink
+    (e.g. streaming events straight to a file or a socket) only needs
+    this one method.
+    """
+
+    def emit(self, event):
+        raise NotImplementedError
+
+
+class EventTrace(TraceSink):
+    """Bounded in-memory event ring buffer.
+
+    Keeps the newest ``capacity`` events; older ones are dropped and
+    counted in ``dropped``. ``emitted`` counts every event ever offered,
+    so ``emitted - dropped == len(trace)``.
+    """
+
+    __slots__ = ("capacity", "emitted", "dropped", "_events")
+
+    #: Default ring capacity — large enough to hold every event of the
+    #: micro/quick scales outright, bounded for pathological runs.
+    DEFAULT_CAPACITY = 1 << 20
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.emitted = 0
+        self.dropped = 0
+        self._events = deque(maxlen=capacity)
+
+    def __bool__(self):
+        # Always truthy: the emission guard is ``if trace:``, and an
+        # empty (or newly cleared) buffer must still record.
+        return True
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def emit(self, event):
+        """Append one event, evicting the oldest when full."""
+        events = self._events
+        if len(events) == self.capacity:
+            self.dropped += 1
+        self.emitted += 1
+        events.append(event)
+
+    def events(self):
+        """The buffered events, oldest first, as a list."""
+        return list(self._events)
+
+    def tail(self, count):
+        """The newest ``count`` events, oldest-of-the-tail first."""
+        if count <= 0:
+            return []
+        events = self._events
+        return list(events)[max(0, len(events) - count):]
+
+    def clear(self):
+        """Drop every buffered event (counters keep accumulating)."""
+        self._events.clear()
+
+    def counts_by_kind(self):
+        """``{kind: occurrences}`` over the buffered events."""
+        counts = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_dicts(self):
+        """Every buffered event in dict form (oldest first)."""
+        return [event.to_dict() for event in self._events]
+
+    @classmethod
+    def from_dicts(cls, dicts, capacity=None):
+        """Rebuild a trace from :meth:`to_dicts` output."""
+        trace = cls(capacity if capacity is not None else cls.DEFAULT_CAPACITY)
+        for data in dicts:
+            trace.emit(event_from_dict(data))
+        return trace

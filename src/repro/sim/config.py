@@ -24,6 +24,7 @@ import hashlib
 import json
 
 from repro.common.errors import ConfigurationError
+from repro.common.serialize import Serializable
 
 
 class HtmPolicy(enum.Enum):
@@ -34,7 +35,7 @@ class HtmPolicy(enum.Enum):
 
 
 @dataclasses.dataclass(frozen=True)
-class SimConfig:
+class SimConfig(Serializable):
     """All machine and policy parameters of a simulation.
 
     Defaults reproduce Table 2: 32 Icelake-like cores, 48 KiB/12-way L1D,

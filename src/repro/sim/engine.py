@@ -37,13 +37,17 @@ import tempfile
 import time
 
 from repro.common.errors import ExperimentCellError
+from repro.common.serialize import Serializable
+from repro.obs.trace import EventTrace
 from repro.sim.config import SimConfig
-from repro.sim.runner import RunResult, run_workload
+from repro.sim.runner import RunResult, _simulate_one
 from repro.workloads import make_workload
 
 #: Bump when the cached result format (or anything influencing a run's
 #: output) changes; every key embeds it, so old entries simply miss.
-SCHEMA_VERSION = 1
+#: v2: RunResult dicts grew a "trace" slot and MachineStats a "metrics"
+#: registry section.
+SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".exp_cache"
 
@@ -53,14 +57,19 @@ class RunSpec:
     """One independent simulation cell: (workload, config, seed).
 
     ``ops_per_thread`` scales the named workload; ``None`` keeps the
-    workload's own default. The spec is hashable and picklable, so it
-    can cross process boundaries and key dictionaries.
+    workload's own default. ``trace`` asks the worker to record the
+    run's full event trace into the result (simulated behaviour is
+    identical either way, but traced and untraced results are cached
+    under different keys because their payloads differ). The spec is
+    hashable and picklable, so it can cross process boundaries and key
+    dictionaries.
     """
 
     workload: str
     config: SimConfig
     seed: int
     ops_per_thread: int = None
+    trace: bool = False
 
     def cache_key(self):
         """Content address of this cell's result.
@@ -76,6 +85,7 @@ class RunSpec:
                 "ops_per_thread": self.ops_per_thread,
                 "seed": self.seed,
                 "config": self.config.fingerprint(),
+                "trace": self.trace,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -92,10 +102,11 @@ def execute_spec(spec):
     kwargs = {}
     if spec.ops_per_thread is not None:
         kwargs["ops_per_thread"] = spec.ops_per_thread
-    result = run_workload(
+    result = _simulate_one(
         lambda: make_workload(spec.workload, **kwargs),
         spec.config,
         seed=spec.seed,
+        trace=EventTrace() if spec.trace else None,
     )
     return result.to_dict()
 
@@ -212,7 +223,7 @@ class ProgressEvent:
 
 
 @dataclasses.dataclass
-class CellFailure:
+class CellFailure(Serializable):
     """One cell the engine gave up on, with why and after how many tries.
 
     ``kind`` is one of ``"timeout"`` (the cell exceeded ``cell_timeout``
@@ -220,7 +231,10 @@ class CellFailure:
     died repeatedly), or ``"error"`` (the simulation raised — these are
     deterministic, so the cell is quarantined on the first attempt).
     ``exception`` carries the original error object for ``"error"``
-    failures (not serialized).
+    failures (not serialized); ``diagnostic`` the structured dump a
+    stall error shipped with it — including the machine's trace tail
+    when the cell ran with ``spec.trace`` — so a quarantined cell can be
+    forensically examined from the failure report alone.
     """
 
     spec: RunSpec
@@ -228,6 +242,7 @@ class CellFailure:
     attempts: int
     message: str
     exception: Exception = None
+    diagnostic: dict = None
 
     def to_dict(self):
         """JSON-serializable form (for failure reports in script output)."""
@@ -236,14 +251,35 @@ class CellFailure:
             "ops_per_thread": self.spec.ops_per_thread,
             "seed": self.spec.seed,
             "config": self.spec.config.fingerprint(),
+            "spec_config": self.spec.config.to_dict(),
+            "trace": self.spec.trace,
             "kind": self.kind,
             "attempts": self.attempts,
             "message": self.message,
+            "diagnostic": self.diagnostic,
         }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a failure (minus the live exception object)."""
+        spec = RunSpec(
+            workload=data["workload"],
+            config=SimConfig.from_dict(data["spec_config"]),
+            seed=data["seed"],
+            ops_per_thread=data["ops_per_thread"],
+            trace=data.get("trace", False),
+        )
+        return cls(
+            spec=spec,
+            kind=data["kind"],
+            attempts=data["attempts"],
+            message=data["message"],
+            diagnostic=data.get("diagnostic"),
+        )
 
 
 @dataclasses.dataclass
-class SweepReport:
+class SweepReport(Serializable):
     """Outcome of a fault-tolerant sweep: a possibly partial matrix.
 
     ``results`` aligns with the input specs; failed cells hold ``None``.
@@ -268,6 +304,35 @@ class SweepReport:
             "failed": len(self.failures),
             "failures": [failure.to_dict() for failure in self.failures],
         }
+
+    def to_dict(self):
+        """The whole (possibly partial) matrix as a JSON dict."""
+        return {
+            "results": [
+                result.to_dict() if result is not None else None
+                for result in self.results
+            ],
+            "failures": [failure.to_dict() for failure in self.failures],
+            "total": self.total,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            results=[
+                RunResult.from_dict(result) if result is not None else None
+                for result in data["results"]
+            ],
+            failures=[
+                CellFailure.from_dict(failure) for failure in data["failures"]
+            ],
+            total=data["total"],
+            completed=data["completed"],
+            cache_hits=data["cache_hits"],
+        )
 
 
 class ExperimentEngine:
@@ -439,6 +504,7 @@ class ExperimentEngine:
                     spec=specs[index], kind="error", attempts=1,
                     message="{}: {}".format(type(exc).__name__, exc),
                     exception=exc,
+                    diagnostic=getattr(exc, "diagnostic", None),
                 ))
                 continue
             record(index, result)
@@ -532,6 +598,7 @@ class ExperimentEngine:
                             attempts=attempts[index],
                             message="{}: {}".format(type(exc).__name__, exc),
                             exception=exc,
+                            diagnostic=getattr(exc, "diagnostic", None),
                         ))
                         continue
                     record(index, result)

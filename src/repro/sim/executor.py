@@ -25,6 +25,14 @@ from repro.htm.arbiter import TxPeerView
 from repro.htm.rwset import CapacityExceeded, ReadWriteSets
 from repro.memory.address import line_of_word
 from repro.memory.locking import LockDenied, NackError
+from repro.obs.events import (
+    ARAbort,
+    ARBegin,
+    ARCommit,
+    FaultInjected,
+    LockAcquire,
+    LocksRelease,
+)
 from repro.sim.program import AbortOp, Branch, Compute, Invoke, Load, Store, Think
 from repro.sim.replay import replay_body
 from repro.core.indirection import TaintedValue
@@ -58,10 +66,12 @@ class CoreExecutor:
         "saved_discovery", "invocation_aborts", "first_abort_footprint",
         "fig1_recorded", "discovery", "rwsets", "gen", "gen_send_value",
         "attempt_ops", "attempt_loads",
-        "attempt_stores", "pending_abort", "_fault_abort_at",
+        "attempt_stores", "pending_abort", "pending_abort_detail",
+        "_fault_abort_at",
         "_fault_abort_reason", "fallback_read_held", "fallback_write_held",
         "locked_lines", "_lock_groups", "_lock_group_idx", "_lock_set_held",
-        "finish_time",
+        "finish_time", "trace", "attempt_begin_cycle", "first_lock_cycle",
+        "fallback_entry_cycle",
     )
 
     def __init__(self, core, machine, controller=None):
@@ -69,6 +79,7 @@ class CoreExecutor:
         self.machine = machine
         self.config = machine.config
         self.controller = controller
+        self.trace = machine.trace
         self.phase = IDLE
         self.mode = None
         self.rng = machine.rng.child(("core", core))
@@ -90,6 +101,17 @@ class CoreExecutor:
         self.attempt_loads = 0
         self.attempt_stores = 0
         self.pending_abort = None
+        # Forensic detail of the pending conflict as one
+        # (line, enemy core, enemy-was-write) tuple — a single store on
+        # the per-attempt path. Survives the failed-mode hold so the
+        # eventual abort names the original conflict.
+        self.pending_abort_detail = None
+        # Cycle timestamps feeding the latency histograms (always on)
+        # and the trace. Stamped by every begin path before any abort
+        # can fire, so aborts read them without a staleness check.
+        self.attempt_begin_cycle = None
+        self.first_lock_cycle = None
+        self.fallback_entry_cycle = None
         # Chaos layer: op index at which this attempt's injected abort
         # fires (None = attempt spared or chaos disabled).
         self._fault_abort_at = None
@@ -108,23 +130,27 @@ class CoreExecutor:
 
     def step(self, now):
         """Perform one bounded action; returns (kind, payload)."""
-        if self.phase == DONE:
-            return (STEP_DONE, None)
-        if self.phase == IDLE:
-            return self._step_idle(now)
-        if self.phase == BEGIN_WAIT:
-            return self._step_begin_wait()
-        if self.phase == GUARD_WAIT:
-            return self._step_guard_wait()
-        if self.phase == FALLBACK_WAIT:
-            return self._step_fallback_wait()
-        if self.phase == LOCK_ACQUIRE:
-            return self._step_lock_acquire()
-        if self.phase == RETRY:
-            return self._start_attempt()
-        if self.phase == BODY:
+        # Dispatch ordered by observed frequency (BODY dominates every
+        # workload, then the idle fetch and abort-retry transitions);
+        # the phases are mutually exclusive so order is free to choose.
+        phase = self.phase
+        if phase == BODY:
             return self._step_body()
-        raise AssertionError("unknown phase {!r}".format(self.phase))
+        if phase == IDLE:
+            return self._step_idle(now)
+        if phase == RETRY:
+            return self._start_attempt()
+        if phase == LOCK_ACQUIRE:
+            return self._step_lock_acquire()
+        if phase == BEGIN_WAIT:
+            return self._step_begin_wait()
+        if phase == GUARD_WAIT:
+            return self._step_guard_wait()
+        if phase == FALLBACK_WAIT:
+            return self._step_fallback_wait()
+        if phase == DONE:
+            return (STEP_DONE, None)
+        raise AssertionError("unknown phase {!r}".format(phase))
 
     @property
     def in_flight_speculative(self):
@@ -191,6 +217,7 @@ class CoreExecutor:
         self.attempt_loads = 0
         self.attempt_stores = 0
         self.pending_abort = None
+        self.pending_abort_detail = None
         self._note_fig1_retry_start()
         mode = self.next_mode
         if mode is ExecMode.FALLBACK:
@@ -200,12 +227,23 @@ class CoreExecutor:
         return self._try_begin_speculative()
 
     def _try_begin_speculative(self):
-        fallback = self.machine.fallback
+        machine = self.machine
+        fallback = machine.fallback
         if fallback.is_write_held():
             # Explicit Fallback abort: the lock is found taken at begin.
-            self.machine.stats.record_abort(
+            machine.stats.record_abort(
                 self.core, AbortReason.EXPLICIT_FALLBACK, self.invocation.region_id
             )
+            if self.trace is not None:
+                # No attempt ever started, so there is no span to close:
+                # mode None marks the at-begin abort, and the enemy is
+                # the fallback writer holding the lock line.
+                self.trace.emit(ARAbort(
+                    machine.now, self.core, self.invocation.region_id,
+                    None, self.attempt_index, AbortReason.EXPLICIT_FALLBACK,
+                    line=fallback.line, enemy=fallback.writer,
+                    enemy_write=True,
+                ))
             self.phase = BEGIN_WAIT
             return (STEP_BLOCK, "fallback")
         self.mode = ExecMode.SPECULATIVE
@@ -215,12 +253,18 @@ class CoreExecutor:
         if self.controller is not None:
             self.discovery = self.controller.begin_invocation(self.invocation.region_id)
         if self.config.powertm and self.counting_retries > 0:
-            self.machine.power.try_acquire(self.core)
+            machine.power.try_acquire(self.core)
         self._plan_fault_injection()
         self.gen = self.invocation.body_factory()
         self.gen_send_value = None
         self.phase = BODY
-        self.machine.stats.record_begin(self.core)
+        machine.stats.record_begin(self.core)
+        self.attempt_begin_cycle = machine.now
+        if self.trace is not None:
+            self.trace.emit(ARBegin(
+                machine.now, self.core, self.invocation.region_id,
+                ExecMode.SPECULATIVE, self.attempt_index,
+            ))
         return self._busy(self.config.tx_begin_cycles)
 
     def _plan_fault_injection(self):
@@ -287,8 +331,15 @@ class CoreExecutor:
         self._lock_group_idx = 0
         self._lock_set_held = None
         self.locked_lines = set()
+        self.first_lock_cycle = None
         self.phase = LOCK_ACQUIRE
         self.machine.stats.record_begin(self.core)
+        self.attempt_begin_cycle = self.machine.now
+        if self.trace is not None:
+            self.trace.emit(ARBegin(
+                self.machine.now, self.core, self.invocation.region_id,
+                mode, self.attempt_index,
+            ))
         return self._busy(self.config.tx_begin_cycles)
 
     def _step_guard_wait(self):
@@ -331,11 +382,13 @@ class CoreExecutor:
             if cycles:
                 self.machine.stats.add_busy(self.core, cycles, lock_acquire=True)
             return (STEP_BLOCK, ("line", denied.line))
-        except NackError:
+        except NackError as nacked:
             # A power-mode transaction holds the line in its sets and
             # nacks the lock request (paper §5.2): this CL attempt aborts.
             self._release_group_set_lock()
-            return self._abort_attempt(AbortReason.NACKED)
+            return self._abort_attempt(
+                AbortReason.NACKED, line=nacked.line, enemy=nacked.holder
+            )
         except OverflowError:
             self._release_group_set_lock()
             return self._abort_attempt(AbortReason.LOCK_SET_FAILURE)
@@ -355,12 +408,18 @@ class CoreExecutor:
         if resolution.requester_abort_reason is not None:
             raise NackError(entry.line, resolution.nacking_core)
         for victim in resolution.victims:
-            machine.executors[victim].receive_remote_conflict(entry.line, True)
+            machine.executors[victim].receive_remote_conflict(
+                entry.line, True, self.core
+            )
         latency = machine.memsys.acquire_line_lock(self.core, entry.line)
         entry.locked = True
         self.locked_lines.add(entry.line)
+        if self.first_lock_cycle is None:
+            self.first_lock_cycle = machine.now
         machine.stats.record_lock_acquired()
         machine.stats.record_access("LOCK")
+        if self.trace is not None:
+            self.trace.emit(LockAcquire(machine.now, self.core, entry.line))
         return latency
 
     def _release_group_set_lock(self):
@@ -391,6 +450,13 @@ class CoreExecutor:
         self.gen_send_value = None
         self.phase = BODY
         self.machine.stats.record_begin(self.core)
+        self.attempt_begin_cycle = self.machine.now
+        self.fallback_entry_cycle = self.machine.now
+        if self.trace is not None:
+            self.trace.emit(ARBegin(
+                self.machine.now, self.core, self.invocation.region_id,
+                ExecMode.FALLBACK, self.attempt_index,
+            ))
         return self._busy(self.config.tx_begin_cycles)
 
     def _step_fallback_wait(self):
@@ -438,6 +504,10 @@ class CoreExecutor:
             self._fault_abort_at = None
             self._fault_abort_reason = None
             self.machine.faults.note_injected(self.core, reason, self.attempt_index)
+            if self.trace is not None:
+                self.trace.emit(FaultInjected(
+                    self.machine.now, self.core, reason, self.attempt_index
+                ))
             return self._abort_attempt(reason)
         if self.config.speculation == "sle" and self.mode.is_speculative:
             # In-core speculation (§4.1): the attempt lives inside the
@@ -513,8 +583,10 @@ class CoreExecutor:
                 memsys.locks.check_access(
                     self.core, line, nackable=mode is not ExecMode.FALLBACK
                 )
-            except NackError:
-                return self._abort_attempt(AbortReason.NACKED)
+            except NackError as nacked:
+                return self._abort_attempt(
+                    AbortReason.NACKED, line=nacked.line, enemy=nacked.holder
+                )
             except LockDenied as denied:
                 return (STEP_BLOCK, ("line", denied.line))
 
@@ -524,8 +596,8 @@ class CoreExecutor:
             if rwsets is not None:
                 try:
                     rwsets.record_write(line)
-                except CapacityExceeded:
-                    return self._abort_attempt(AbortReason.CAPACITY)
+                except CapacityExceeded as exc:
+                    return self._abort_attempt(AbortReason.CAPACITY, line=exc.line)
                 rwsets.buffer_store(word_addr, op.store_value)
             if discovery.exhausted:
                 return self._conclude_exhausted_failed_discovery()
@@ -543,9 +615,14 @@ class CoreExecutor:
                 requester_failed=mode is ExecMode.FAILED_DISCOVERY,
             )
             if resolution.requester_abort_reason is not None:
-                return self._abort_attempt(resolution.requester_abort_reason)
+                return self._abort_attempt(
+                    resolution.requester_abort_reason,
+                    line=line, enemy=resolution.nacking_core,
+                )
             for victim in resolution.victims:
-                machine.executors[victim].receive_remote_conflict(line, is_store)
+                machine.executors[victim].receive_remote_conflict(
+                    line, is_store, self.core
+                )
 
         result = memsys.access(self.core, line, is_store)
         machine.stats.record_access(result.level)
@@ -560,11 +637,11 @@ class CoreExecutor:
                     rwsets.record_write(line)
                 else:
                     rwsets.record_read(line)
-            except CapacityExceeded:
+            except CapacityExceeded as exc:
                 if discovery is not None:
                     entry = self.controller.ert.ensure(self.invocation.region_id)
                     entry.is_convertible = False
-                return self._abort_attempt(AbortReason.CAPACITY)
+                return self._abort_attempt(AbortReason.CAPACITY, line=exc.line)
 
         # Discovery footprint and indirection tracking.
         failed = mode is ExecMode.FAILED_DISCOVERY
@@ -637,6 +714,11 @@ class CoreExecutor:
         machine.stats.record_commit(
             self.core, mode, self.counting_retries, self.invocation.region_id
         )
+        if self.trace is not None:
+            self.trace.emit(ARCommit(
+                machine.now, self.core, self.invocation.region_id,
+                mode, self.attempt_index, self.counting_retries,
+            ))
         self._clear_attempt_state()
         self.invocation = None
         self.phase = IDLE
@@ -646,7 +728,7 @@ class CoreExecutor:
     # Aborts
     # ------------------------------------------------------------------
 
-    def receive_remote_conflict(self, line, remote_is_write):
+    def receive_remote_conflict(self, line, remote_is_write, from_core):
         """A remote request conflicted with our speculative state."""
         if not self.in_flight_speculative:
             return
@@ -663,16 +745,36 @@ class CoreExecutor:
             self.controller.note_scl_conflicting_read(line)
         if self.pending_abort is None:
             self.pending_abort = AbortReason.MEMORY_CONFLICT
+            self.pending_abort_detail = (line, from_core, remote_is_write)
         # Zombie from here on: the legacy scan hides a doomed peer via
         # peer_view() -> None, so the index must forget it at the same
         # instant.
         if self.rwsets is not None:
             self.rwsets.detach_index()
 
-    def _abort_attempt(self, reason, decided_mode=None):
+    def _abort_attempt(self, reason, decided_mode=None,
+                       line=None, enemy=None, enemy_write=None):
         machine = self.machine
         mode = self.mode
-        machine.stats.record_abort(self.core, reason, self.invocation.region_id)
+        detail = self.pending_abort_detail
+        if line is None and detail is not None and reason in (
+            AbortReason.MEMORY_CONFLICT, AbortReason.OTHER_FALLBACK
+        ):
+            # The conflict that doomed us arrived asynchronously (and may
+            # have been held through failed-mode discovery): recover its
+            # forensic detail. Guarded by reason class so an injected or
+            # capacity abort never inherits a stale conflict's detail.
+            line, enemy, enemy_write = detail
+        machine.stats.record_abort(
+            self.core, reason, self.invocation.region_id,
+            machine.now - self.attempt_begin_cycle,
+        )
+        if self.trace is not None:
+            self.trace.emit(ARAbort(
+                machine.now, self.core, self.invocation.region_id,
+                mode, self.attempt_index, reason,
+                line=line, enemy=enemy, enemy_write=enemy_write,
+            ))
         self.invocation_aborts += 1
         if self.invocation_aborts == 1:
             # Fig. 1 instrumentation: the complete footprint the AR
@@ -733,6 +835,9 @@ class CoreExecutor:
         self.mode = None
         self._fault_abort_at = None
         self._fault_abort_reason = None
+        # pending_abort_detail and attempt_begin_cycle are left stale
+        # here on purpose: _start_attempt resets the former and every
+        # begin path restamps the latter before anything reads them.
         self.locked_lines = set()
         self._lock_groups = []
         self._lock_group_idx = 0
@@ -744,6 +849,15 @@ class CoreExecutor:
         if released:
             machine.stats.add_busy(self.core, self.config.lock_release_cycles)
             anything_released = True
+            if self.first_lock_cycle is not None:
+                machine.stats.record_lock_hold(
+                    max(0, machine.now - self.first_lock_cycle)
+                )
+            if self.trace is not None:
+                self.trace.emit(LocksRelease(
+                    machine.now, self.core, tuple(sorted(released))
+                ))
+        self.first_lock_cycle = None
         if self.fallback_read_held:
             machine.fallback.release_read(self.core)
             self.fallback_read_held = False
@@ -752,6 +866,11 @@ class CoreExecutor:
             machine.fallback.release_write(self.core)
             self.fallback_write_held = False
             anything_released = True
+            if self.fallback_entry_cycle is not None:
+                machine.stats.record_fallback_hold(
+                    max(0, machine.now - self.fallback_entry_cycle)
+                )
+        self.fallback_entry_cycle = None
         if anything_released:
             machine.notify_release()
 

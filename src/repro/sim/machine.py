@@ -29,6 +29,14 @@ from repro.htm.sharer_index import SharerIndex
 from repro.memory.address import line_of_word
 from repro.memory.shared import Allocator, SharedMemory
 from repro.memory.system import MemorySystem
+from repro.obs.events import (
+    FallbackAcquire,
+    FallbackRelease,
+    Park,
+    PowerAcquire,
+    PowerRelease,
+    Wakeup,
+)
 from repro.sim.executor import (
     STEP_BLOCK,
     STEP_DELAY,
@@ -43,14 +51,37 @@ from repro.sim.stats import MachineStats
 # pops (power of two so the modulo is cheap).
 WATCHDOG_CHECK_EVENTS = 1024
 
+# How many trailing trace events a stall diagnostic ships.
+DIAGNOSTIC_TRACE_TAIL = 64
+
+
+def _waiting_on_label(payload):
+    """Compact string for a STEP_BLOCK payload ("line:<id>", "fallback", ...)."""
+    if isinstance(payload, tuple):
+        return "{}:{}".format(payload[0], payload[1])
+    return str(payload)
+
 
 class Machine:
-    """A configured multicore machine running one workload."""
+    """A configured multicore machine running one workload.
 
-    def __init__(self, config, workload, seed=1):
+    ``trace`` is an optional :class:`~repro.obs.trace.TraceSink` (e.g.
+    an :class:`~repro.obs.trace.EventTrace`): when attached, the machine
+    and its executors emit the typed event stream of
+    :mod:`repro.obs.events` into it. Tracing never changes simulated
+    behaviour — every emission site is behind an ``if trace`` guard and
+    observes state the simulation computes anyway.
+    """
+
+    def __init__(self, config, workload, seed=1, trace=None):
         self.config = config
         self.workload = workload
         self.seed = seed
+        self.trace = trace
+        # Cycle of the event-loop pop currently executing; kept current
+        # by run() so deep callees (stats histograms, trace emission)
+        # can timestamp without threading `now` through every call.
+        self.now = 0
         self.rng = DeterministicRng(seed)
         self.memory = SharedMemory()
         self.allocator = Allocator()
@@ -123,6 +154,26 @@ class Machine:
             self.rng.child(("actions", core)) for core in range(config.num_cores)
         ]
         self._release_pending = False
+        if trace is not None:
+            # Fallback / power-token transitions are traced via observer
+            # hooks so every release site (commit, abort, fallback
+            # takeover) is covered without touching the executors.
+            self.fallback.observer = self._on_fallback_event
+            self.power.observer = self._on_power_event
+
+    # -- trace observer hooks -------------------------------------------------
+
+    def _on_fallback_event(self, event, core, shared):
+        if event == "acquire":
+            self.trace.emit(FallbackAcquire(self.now, core, shared))
+        else:
+            self.trace.emit(FallbackRelease(self.now, core, shared))
+
+    def _on_power_event(self, event, core):
+        if event == "acquire":
+            self.trace.emit(PowerAcquire(self.now, core))
+        else:
+            self.trace.emit(PowerRelease(self.now, core))
 
     # -- services used by executors -----------------------------------------
 
@@ -193,6 +244,7 @@ class Machine:
 
     def abort_all_speculative(self, reason, exclude):
         """Fallback acquisition: doom every in-flight speculative AR."""
+        fallback_line = self.fallback.line
         for executor in self.executors:
             if executor.core == exclude:
                 continue
@@ -204,6 +256,9 @@ class Machine:
                     "the read lock should have prevented this"
                 )
             executor.pending_abort = reason
+            # Forensics: the "conflict" is the fallback lock line,
+            # written (conceptually) by the core taking the lock.
+            executor.pending_abort_detail = (fallback_line, exclude, True)
             # Doomed: invisible to conflict detection from this point.
             if executor.rwsets is not None:
                 executor.rwsets.detach_index()
@@ -232,6 +287,7 @@ class Machine:
         config = self.config
         oracle = self.oracle
         faults = self.faults
+        trace = self.trace
         watchdog = config.watchdog_cycles
         validate_interval = oracle.validate_interval if oracle is not None else 0
         # Hot loop: bind everything touched per pop to locals.
@@ -251,6 +307,7 @@ class Machine:
         self.event_count = 0
         while heap:
             now, core = heappop(heap)
+            self.now = now
             if now > max_cycles:
                 self.event_count = events
                 stats.truncated = True
@@ -288,6 +345,8 @@ class Machine:
                 heappush(heap, (now + (payload if payload > 1 else 1), core))
             elif kind == STEP_BLOCK:
                 parked[core] = now
+                if trace is not None:
+                    trace.emit(Park(now, core, _waiting_on_label(payload)))
             elif kind != STEP_DONE:
                 self.event_count = events
                 raise SimulationError("unknown step result {!r}".format(kind))
@@ -298,6 +357,10 @@ class Machine:
                     wake = max(park_time, now) + 1
                     if faults is not None:
                         wake += faults.wakeup_delay(parked_core)
+                    if trace is not None:
+                        trace.emit(Wakeup(
+                            now, parked_core, max(0, now - park_time)
+                        ))
                     heappush(heap, (wake, parked_core))
                 parked.clear()
         self.event_count = events
@@ -357,8 +420,15 @@ class Machine:
             if executor.controller is not None:
                 entry["controller"] = executor.controller.diagnostic_state()
             cores.append(entry)
+        trace_tail = None
+        if self.trace is not None:
+            trace_tail = [
+                event.to_dict()
+                for event in self.trace.tail(DIAGNOSTIC_TRACE_TAIL)
+            ]
         return {
             "cycle": now,
+            "trace_tail": trace_tail,
             "cores": cores,
             "lock_table": self.memsys.locks.snapshot(),
             "fallback_writer": self.fallback.writer,

@@ -12,14 +12,25 @@ cache (:mod:`repro.sim.engine`) stores exactly that representation.
 
 import warnings
 
+from repro.common.constants import PAPER_TRIM, SWEEP_TRIM
+from repro.common.serialize import Serializable
 from repro.core.modes import ExecMode
 from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.obs.trace import EventTrace
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.stats import MachineStats
 
 
-def trimmed_mean(values, trim=3):
+def _deprecated(old, new):
+    warnings.warn(
+        "{}() is deprecated; use {} instead".format(old, new),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def trimmed_mean(values, trim=PAPER_TRIM):
     """Mean after removing ``trim`` outliers (⌈trim/2⌉ high, ⌊trim/2⌋ low).
 
     Falls back to a plain mean when too few values remain — and warns
@@ -43,15 +54,23 @@ def trimmed_mean(values, trim=3):
     return sum(ordered) / len(ordered)
 
 
-class RunResult:
-    """One simulation run's headline metrics."""
+class RunResult(Serializable):
+    """One simulation run's headline metrics.
 
-    def __init__(self, workload_name, config, seed, stats, energy):
+    ``trace`` optionally carries the run's
+    :class:`~repro.obs.trace.EventTrace`; it rides through the dict
+    form (and therefore the engine's cache and process transport) as a
+    list of event dicts, so a traced cell replayed from cache still has
+    its trace.
+    """
+
+    def __init__(self, workload_name, config, seed, stats, energy, trace=None):
         self.workload_name = workload_name
         self.config = config
         self.seed = seed
         self.stats = stats
         self.energy = energy
+        self.trace = trace
 
     @property
     def cycles(self):
@@ -71,17 +90,23 @@ class RunResult:
             "seed": self.seed,
             "stats": self.stats.to_dict(),
             "energy": self.energy.to_dict(),
+            "trace": self.trace.to_dicts() if self.trace is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data):
         """Rebuild a run from :meth:`to_dict` output."""
+        trace_dicts = data.get("trace")
         return cls(
             workload_name=data["workload_name"],
             config=SimConfig.from_dict(data["config"]),
             seed=data["seed"],
             stats=MachineStats.from_dict(data["stats"]),
             energy=EnergyBreakdown.from_dict(data["energy"]),
+            trace=(
+                EventTrace.from_dicts(trace_dicts)
+                if trace_dicts is not None else None
+            ),
         )
 
     def __repr__(self):
@@ -90,10 +115,10 @@ class RunResult:
         )
 
 
-class AggregateResult:
+class AggregateResult(Serializable):
     """Trimmed-mean metrics over several seeds of one (workload, config)."""
 
-    def __init__(self, workload_name, config, runs, trim=3):
+    def __init__(self, workload_name, config, runs, trim=PAPER_TRIM):
         if not runs:
             raise ValueError("need at least one run to aggregate")
         self.workload_name = workload_name
@@ -180,25 +205,61 @@ class AggregateResult:
         )
 
 
-def run_workload(workload_factory, config, *, seed=1, energy_model=None):
-    """Simulate one (workload, config, seed) and return a RunResult."""
+def _simulate_one(workload_factory, config, *, seed=1, energy_model=None,
+                  trace=None):
+    """Simulate one (workload, config, seed) and return a RunResult.
+
+    The non-deprecated implementation behind :func:`repro.api.simulate`
+    and the experiment engine. ``trace`` is an optional
+    :class:`~repro.obs.trace.TraceSink` the machine emits into; when it
+    is an :class:`~repro.obs.trace.EventTrace` it is also attached to
+    the returned result.
+    """
     workload = workload_factory()
-    machine = Machine(config, workload, seed)
+    machine = Machine(config, workload, seed, trace=trace)
     stats = machine.run()
     model = energy_model or EnergyModel()
     energy = model.evaluate(stats)
-    return RunResult(workload.name, config, seed, stats, energy)
+    attached = trace if isinstance(trace, EventTrace) else None
+    return RunResult(workload.name, config, seed, stats, energy,
+                     trace=attached)
 
 
-def run_seeds(workload_factory, config, *, seeds=range(1, 11), trim=3,
-              energy_model=None):
-    """Simulate several seeds and aggregate with the paper's trimmed mean."""
+def _run_seeds(workload_factory, config, *, seeds=range(1, 11),
+               trim=PAPER_TRIM, energy_model=None, trace_factory=None):
+    """Simulate several seeds and aggregate with the paper's trimmed mean.
+
+    ``trace_factory`` (seed -> TraceSink or None) lets the facade trace
+    individual runs of a multi-seed simulation.
+    """
     runs = [
-        run_workload(workload_factory, config, seed=seed,
-                     energy_model=energy_model)
+        _simulate_one(
+            workload_factory, config, seed=seed, energy_model=energy_model,
+            trace=trace_factory(seed) if trace_factory is not None else None,
+        )
         for seed in seeds
     ]
     return AggregateResult(runs[0].workload_name, config, runs, trim)
+
+
+def run_workload(workload_factory, config, *, seed=1, energy_model=None):
+    """Deprecated: use :func:`repro.api.simulate`.
+
+    Simulates one (workload, config, seed) and returns a RunResult,
+    exactly as before; new code should call ``repro.api.simulate`` which
+    returns the richer :class:`~repro.api.SimulationReport`.
+    """
+    _deprecated("run_workload", "repro.api.simulate")
+    return _simulate_one(workload_factory, config, seed=seed,
+                         energy_model=energy_model)
+
+
+def run_seeds(workload_factory, config, *, seeds=range(1, 11),
+              trim=PAPER_TRIM, energy_model=None):
+    """Deprecated: use :func:`repro.api.simulate` with ``seeds=...``."""
+    _deprecated("run_seeds", "repro.api.simulate")
+    return _run_seeds(workload_factory, config, seeds=seeds, trim=trim,
+                      energy_model=energy_model)
 
 
 def select_best_threshold(aggregates_by_threshold):
@@ -217,9 +278,9 @@ def select_best_threshold(aggregates_by_threshold):
     return best, best_threshold
 
 
-def sweep_retry_threshold(workload, config, thresholds=range(1, 11),
-                          seeds=(1, 2, 3), trim=0, *, ops_per_thread=None,
-                          engine=None):
+def _sweep_retry_threshold(workload, config, thresholds=range(1, 11),
+                           seeds=(1, 2, 3), trim=SWEEP_TRIM, *,
+                           ops_per_thread=None, engine=None):
     """Design-space exploration: best retry threshold per application.
 
     The paper runs "from 1 to 10 retries for all benchmarks and selects
@@ -234,7 +295,7 @@ def sweep_retry_threshold(workload, config, thresholds=range(1, 11),
     """
     if callable(workload):
         aggregates = {
-            threshold: run_seeds(
+            threshold: _run_seeds(
                 workload, config.replaced(retry_threshold=threshold),
                 seeds=seeds, trim=trim,
             )
@@ -263,3 +324,14 @@ def sweep_retry_threshold(workload, config, thresholds=range(1, 11),
             runs[0].workload_name, runs[0].config, runs, trim
         )
     return select_best_threshold(aggregates)
+
+
+def sweep_retry_threshold(workload, config, thresholds=range(1, 11),
+                          seeds=(1, 2, 3), trim=SWEEP_TRIM, *,
+                          ops_per_thread=None, engine=None):
+    """Deprecated: use :func:`repro.api.sweep_retry_threshold`."""
+    _deprecated("sweep_retry_threshold", "repro.api.sweep_retry_threshold")
+    return _sweep_retry_threshold(
+        workload, config, thresholds=thresholds, seeds=seeds, trim=trim,
+        ops_per_thread=ops_per_thread, engine=engine,
+    )

@@ -10,12 +10,23 @@ paper's metrics:
 - Fig. 12 — commit breakdown by execution mode.
 - Fig. 13 — commit breakdown by number of (counting) retries.
 - Fig. 1  — footprint stability of first retries.
+
+Scalar counters live in an always-on
+:class:`~repro.obs.metrics.MetricRegistry` (``stats.metrics``) rather
+than ad-hoc attributes; the legacy names (``compute_ops``,
+``tx_begins``, ...) are properties over the registry, so every consumer
+and the serialized form are unchanged. The registry also carries the
+latency histograms (abort latency, retries per committed AR, cacheline
+lock hold time, fallback hold time) — all pure functions of simulated
+cycles, so they are identical with tracing on or off.
 """
 
 from collections import Counter
 
+from repro.common.serialize import Serializable
 from repro.core.modes import ExecMode
 from repro.htm.abort import AbortCategory, AbortReason, categorize_abort
+from repro.obs.metrics import MetricRegistry
 
 
 def _region_key_to_list(region_id):
@@ -59,7 +70,7 @@ class CoreStats:
         return stats
 
 
-class MachineStats:
+class MachineStats(Serializable):
     """Aggregated statistics for one simulation run."""
 
     def __init__(self, num_cores):
@@ -69,44 +80,121 @@ class MachineStats:
         self.commits_by_retries = Counter()  # non-fallback commits only
         self.fallback_commit_retries = Counter()
         self.aborts_by_reason = Counter()
-        self.aborts_by_category = Counter()
         self.per_region_commits = Counter()
         self.per_region_aborts = Counter()
         # Energy inputs.
         self.accesses_by_level = Counter()
-        self.compute_ops = 0
-        self.branch_ops = 0
-        self.tx_begins = 0
-        self.line_locks_acquired = 0
-        # Fig. 1 instrumentation.
-        self.first_retry_observations = 0
-        self.first_retry_immutable_small = 0
+        # Scalar counters and latency histograms live in the registry;
+        # _bind_metrics exposes them as cheap bound objects.
+        self.metrics = MetricRegistry()
+        self._bind_metrics()
         # Run outcome.
         self.makespan_cycles = 0
         self.truncated = False
 
+    def _bind_metrics(self):
+        """Bind the named registry metrics to attributes (idempotent)."""
+        metrics = self.metrics
+        self._compute_ops = metrics.counter("compute_ops")
+        self._branch_ops = metrics.counter("branch_ops")
+        self._tx_begins = metrics.counter("tx_begins")
+        self._line_locks_acquired = metrics.counter("line_locks_acquired")
+        self._first_retry_observations = metrics.counter(
+            "first_retry_observations"
+        )
+        self._first_retry_immutable_small = metrics.counter(
+            "first_retry_immutable_small"
+        )
+        self._abort_latency = metrics.histogram("abort_latency_cycles")
+        self._retries_per_commit = metrics.histogram("retries_per_ar_commit")
+        self._lock_hold = metrics.histogram("lock_hold_cycles")
+        self._fallback_hold = metrics.histogram("fallback_hold_cycles")
+
+    # -- registry-backed scalars ----------------------------------------------
+
+    @property
+    def compute_ops(self):
+        """Non-memory ops executed (energy input)."""
+        return self._compute_ops.value
+
+    @property
+    def branch_ops(self):
+        """Branches retired inside ARs (energy input)."""
+        return self._branch_ops.value
+
+    @property
+    def tx_begins(self):
+        """Attempt begins across every mode (energy input)."""
+        return self._tx_begins.value
+
+    @property
+    def line_locks_acquired(self):
+        """Cacheline locks taken by CL-mode attempts (energy input)."""
+        return self._line_locks_acquired.value
+
+    @property
+    def first_retry_observations(self):
+        """Fig. 1: first retries observed."""
+        return self._first_retry_observations.value
+
+    @property
+    def first_retry_immutable_small(self):
+        """Fig. 1: first retries with a small, unchanged footprint."""
+        return self._first_retry_immutable_small.value
+
     # -- event recording ------------------------------------------------------
+
+    # The three busiest recorders below update their bound metrics with
+    # inlined field bumps rather than Metric.inc()/Histogram.observe()
+    # calls: they run once per attempt/commit/abort, and the call
+    # overhead alone is measurable against the tracing-off perf gate.
+    # The inlined bodies are exact copies of the method semantics.
 
     def record_begin(self, core):
         """A transaction (any mode) began an attempt."""
-        self.tx_begins += 1
+        self._tx_begins.value += 1
 
     def record_commit(self, core, mode, counting_retries, region_id):
         """An AR committed in ``mode`` after ``counting_retries`` counted retries."""
         self.cores[core].commits += 1
         self.commits_by_mode[mode] += 1
         self.per_region_commits[region_id] += 1
+        histogram = self._retries_per_commit
+        histogram.count += 1
+        histogram.total += counting_retries
+        if histogram.min is None or counting_retries < histogram.min:
+            histogram.min = counting_retries
+        if histogram.max is None or counting_retries > histogram.max:
+            histogram.max = counting_retries
+        bucket = counting_retries.bit_length()
+        histogram.buckets[bucket] = histogram.buckets.get(bucket, 0) + 1
         if mode is ExecMode.FALLBACK:
             self.fallback_commit_retries[counting_retries] += 1
         else:
             self.commits_by_retries[counting_retries] += 1
 
-    def record_abort(self, core, reason, region_id):
-        """An attempt aborted for ``reason`` (categorized per Fig. 11)."""
+    def record_abort(self, core, reason, region_id, latency=None):
+        """An attempt aborted for ``reason`` (categorized per Fig. 11).
+
+        ``latency`` is the attempt's begin-to-abort cycle count when the
+        caller knows it (Explicit Fallback aborts happen *at* begin and
+        pass None).
+        """
         self.cores[core].aborts += 1
         self.aborts_by_reason[reason] += 1
-        self.aborts_by_category[categorize_abort(reason)] += 1
         self.per_region_aborts[region_id] += 1
+        if latency is not None:
+            if latency < 0:
+                latency = 0
+            histogram = self._abort_latency
+            histogram.count += 1
+            histogram.total += latency
+            if histogram.min is None or latency < histogram.min:
+                histogram.min = latency
+            if histogram.max is None or latency > histogram.max:
+                histogram.max = latency
+            bucket = latency.bit_length()
+            histogram.buckets[bucket] = histogram.buckets.get(bucket, 0) + 1
 
     def record_access(self, level):
         """A memory access served at ``level`` (L1/L2/L3/MEM/C2C/UPG/LOCK)."""
@@ -114,21 +202,29 @@ class MachineStats:
 
     def record_compute(self, ops=1):
         """Non-memory work (for the dynamic-energy model)."""
-        self.compute_ops += ops
+        self._compute_ops.value += ops
 
     def record_branch(self):
         """A branch retired inside an AR."""
-        self.branch_ops += 1
+        self._branch_ops.value += 1
 
     def record_lock_acquired(self, count=1):
         """Cacheline locks taken by a CL-mode attempt."""
-        self.line_locks_acquired += count
+        self._line_locks_acquired.value += count
+
+    def record_lock_hold(self, cycles):
+        """A CL-mode attempt released its locks ``cycles`` after the first."""
+        self._lock_hold.observe(cycles)
+
+    def record_fallback_hold(self, cycles):
+        """A fallback execution held the global lock for ``cycles``."""
+        self._fallback_hold.observe(cycles)
 
     def record_first_retry(self, immutable_and_small):
         """Fig. 1 observation for one first retry."""
-        self.first_retry_observations += 1
+        self._first_retry_observations.inc()
         if immutable_and_small:
-            self.first_retry_immutable_small += 1
+            self._first_retry_immutable_small.inc()
 
     def add_busy(self, core, cycles, failed_discovery=False, lock_acquire=False):
         """Attribute executing cycles to a core (with phase tags)."""
@@ -143,6 +239,19 @@ class MachineStats:
         self.cores[core].wait_cycles += cycles
 
     # -- derived metrics --------------------------------------------------------
+
+    @property
+    def aborts_by_category(self):
+        """Fig. 11 categories, derived on demand from the reason counts.
+
+        ``categorize_abort`` is a pure function of the reason, so keeping
+        a second enum-keyed counter updated per abort would be redundant
+        work on the hot path; deriving at read time is lossless.
+        """
+        categories = Counter()
+        for reason, count in self.aborts_by_reason.items():
+            categories[categorize_abort(reason)] += count
+        return categories
 
     @property
     def total_commits(self):
@@ -223,7 +332,9 @@ class MachineStats:
         Enum-keyed counters are stored by enum ``value``; integer-keyed
         retry counters are stored with stringified keys (JSON objects
         only key on strings); tuple region ids become two-element lists.
-        :meth:`from_dict` inverts all of it losslessly.
+        The registry rides along under ``"metrics"`` (scalar counters
+        stay duplicated under their legacy keys so older readers keep
+        working). :meth:`from_dict` inverts all of it losslessly.
         """
         return {
             "num_cores": self.num_cores,
@@ -262,6 +373,7 @@ class MachineStats:
             "line_locks_acquired": self.line_locks_acquired,
             "first_retry_observations": self.first_retry_observations,
             "first_retry_immutable_small": self.first_retry_immutable_small,
+            "metrics": self.metrics.to_dict(),
             "makespan_cycles": self.makespan_cycles,
             "truncated": self.truncated,
         }
@@ -287,10 +399,9 @@ class MachineStats:
             {AbortReason(reason): count
              for reason, count in data["aborts_by_reason"].items()}
         )
-        stats.aborts_by_category = Counter(
-            {AbortCategory(category): count
-             for category, count in data["aborts_by_category"].items()}
-        )
+        # aborts_by_category is derived from aborts_by_reason (the stored
+        # copy was generated by the same pure function, so dropping it is
+        # lossless and keeps the roundtrip exact).
         stats.per_region_commits = Counter(
             {_region_key_from_list(region): count
              for region, count in data["per_region_commits"]}
@@ -300,12 +411,20 @@ class MachineStats:
              for region, count in data["per_region_aborts"]}
         )
         stats.accesses_by_level = Counter(data["accesses_by_level"])
-        stats.compute_ops = data["compute_ops"]
-        stats.branch_ops = data["branch_ops"]
-        stats.tx_begins = data["tx_begins"]
-        stats.line_locks_acquired = data["line_locks_acquired"]
-        stats.first_retry_observations = data["first_retry_observations"]
-        stats.first_retry_immutable_small = data["first_retry_immutable_small"]
+        metrics = data.get("metrics")
+        if metrics is not None:
+            stats.metrics = MetricRegistry.from_dict(metrics)
+            stats._bind_metrics()
+        # The legacy scalar keys are authoritative (and present in every
+        # schema version); with a "metrics" section they agree anyway.
+        stats._compute_ops.value = data["compute_ops"]
+        stats._branch_ops.value = data["branch_ops"]
+        stats._tx_begins.value = data["tx_begins"]
+        stats._line_locks_acquired.value = data["line_locks_acquired"]
+        stats._first_retry_observations.value = data["first_retry_observations"]
+        stats._first_retry_immutable_small.value = (
+            data["first_retry_immutable_small"]
+        )
         stats.makespan_cycles = data["makespan_cycles"]
         stats.truncated = data["truncated"]
         return stats

@@ -76,6 +76,46 @@ class TestExperimentPipeline:
         warm.pop("elapsed_seconds")
         assert cold == warm
 
+    def test_trace_flags_export_without_touching_figures(
+        self, tmp_path, monkeypatch
+    ):
+        plain_path = tmp_path / "plain.json"
+        traced_path = tmp_path / "traced.json"
+        trace_out = tmp_path / "trace.json"
+        report_out = tmp_path / "trace.txt"
+        cache_dir = tmp_path / "cache"
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(
+                run_experiments, "settings_for",
+                lambda scale: run_experiments.ExperimentSettings(
+                    benchmarks=("mwobject",), num_cores=2, ops_per_thread=3,
+                    seeds=(1,),
+                ),
+            )
+            run_experiments.main(
+                ["micro", str(plain_path), "--jobs", "1",
+                 "--cache-dir", str(cache_dir)]
+            )
+            run_experiments.main(
+                ["micro", str(traced_path), "--jobs", "1",
+                 "--cache-dir", str(cache_dir),
+                 "--trace", str(trace_out),
+                 "--trace-report", str(report_out)]
+            )
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        plain = json.loads(plain_path.read_text())
+        traced = json.loads(traced_path.read_text())
+        plain.pop("elapsed_seconds")
+        traced.pop("elapsed_seconds")
+        assert plain == traced  # figure JSON identical with tracing on
+        chrome = json.loads(trace_out.read_text())
+        assert chrome["traceEvents"]
+        assert "AR " in report_out.read_text()
+
     def test_no_cache_flag_skips_cache_dir(self, tmp_path, monkeypatch):
         json_path = tmp_path / "results.json"
         cache_dir = tmp_path / "cache"

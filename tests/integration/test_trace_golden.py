@@ -1,0 +1,175 @@
+"""Golden-pinned trace suite: determinism, schema, and forensics.
+
+Pins the exact event stream of one micro cell (genome/W/4c, the config
+that exercises speculative, CL-locked, and fallback paths) against a
+committed golden, proves the stream is byte-stable across repeated runs
+and across engine job counts, validates the Chrome exporter against the
+``trace_event`` format, and checks the forensic report names a
+conflicting line and enemy core for every memory-conflict abort.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.obs.chrome import chrome_trace
+from repro.sim.config import SimConfig
+from repro.sim.engine import ExperimentEngine
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "goldens", "trace_micro.json"
+)
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def simulate_golden_cell(**kwargs):
+    golden = load_golden()
+    return api.simulate(
+        golden["workload"],
+        SimConfig.for_letter(golden["config"],
+                             num_cores=golden["num_cores"]),
+        seeds=golden["seed"], ops_per_thread=golden["ops_per_thread"],
+        trace=True, **kwargs,
+    )
+
+
+class TestGoldenTrace:
+    def test_matches_committed_golden(self):
+        report = simulate_golden_cell()
+        assert report.trace.to_dicts() == load_golden()["events"]
+
+    def test_byte_stable_across_runs(self):
+        first = simulate_golden_cell()
+        second = simulate_golden_cell()
+        dumps = [
+            json.dumps(report.trace.to_dicts(), sort_keys=True)
+            for report in (first, second)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_byte_stable_across_job_counts(self, tmp_path):
+        golden = load_golden()
+        reports = []
+        for jobs in (1, 2):
+            engine = ExperimentEngine(
+                jobs=jobs, cache_dir=str(tmp_path / "cache{}".format(jobs))
+            )
+            reports.append(simulate_golden_cell(engine=engine))
+        assert reports[0].trace.to_dicts() == reports[1].trace.to_dicts()
+        assert reports[0].trace.to_dicts() == golden["events"]
+
+    def test_stats_identical_with_tracing_off(self):
+        golden = load_golden()
+        traced = simulate_golden_cell()
+        plain = api.simulate(
+            golden["workload"],
+            SimConfig.for_letter(golden["config"],
+                                 num_cores=golden["num_cores"]),
+            seeds=golden["seed"], ops_per_thread=golden["ops_per_thread"],
+        )
+        assert plain.run.stats.to_dict() == traced.run.stats.to_dict()
+        assert plain.run.cycles == traced.run.cycles
+
+
+class TestChromeExporterSchema:
+    """Structural validation against the Chrome trace_event format."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        report = simulate_golden_cell()
+        return chrome_trace(report.trace,
+                            num_cores=load_golden()["num_cores"])
+
+    def test_top_level_shape(self, payload):
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+        json.dumps(payload)  # strictly JSON-serializable
+
+    def test_every_event_well_formed(self, payload):
+        for event in payload["traceEvents"]:
+            assert isinstance(event["name"], str)
+            assert event["ph"] in ("X", "i", "s", "f", "M")
+            assert event["pid"] == 0
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int)
+                assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 1
+                assert event["args"]["outcome"] in ("commit", "abort")
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_one_lane_per_core(self, payload):
+        names = {
+            event["tid"]: event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        num_cores = load_golden()["num_cores"]
+        assert set(names) == set(range(num_cores))
+        assert names[0] == "core 0"
+
+    def test_flow_arrows_paired(self, payload):
+        starts = [e for e in payload["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in payload["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes)
+        assert sorted(e["id"] for e in starts) \
+            == sorted(e["id"] for e in finishes)
+        for start, finish in zip(
+            sorted(starts, key=lambda e: e["id"]),
+            sorted(finishes, key=lambda e: e["id"]),
+        ):
+            # The arrow runs from the enemy's lane to the victim's.
+            assert start["ts"] == finish["ts"]
+            assert start["tid"] != finish["tid"]
+
+    def test_span_count_matches_closed_attempts(self, payload):
+        golden_events = load_golden()["events"]
+        begins = sum(1 for e in golden_events if e["kind"] == "ar_begin")
+        spans = sum(1 for e in payload["traceEvents"] if e["ph"] == "X")
+        # Explicit-fallback aborts never opened a span; everything else
+        # that began must have closed into exactly one span.
+        unopened = sum(
+            1 for e in golden_events
+            if e["kind"] == "ar_abort" and e["reason"] == "explicit_fallback"
+        )
+        assert spans == begins - unopened
+
+
+class TestForensicReport:
+    def test_memory_conflicts_name_line_and_enemy(self):
+        report = simulate_golden_cell()
+        conflicts = [
+            event for event in report.trace
+            if event.kind == "ar_abort"
+            and event.reason.value in ("memory_conflict", "nacked")
+        ]
+        assert conflicts, "golden cell should see at least one conflict"
+        for event in conflicts:
+            assert event.line is not None
+            assert event.enemy is not None
+        text = report.forensic_report()
+        for event in conflicts:
+            assert "0x{:x}".format(event.line) in text
+            assert "core {}".format(event.enemy) in text
+
+    def test_report_covers_every_region(self):
+        report = simulate_golden_cell()
+        text = report.forensic_report()
+        commits = sum(
+            1 for event in report.trace if event.kind == "ar_commit"
+        )
+        assert text.count("AR ") >= commits
+
+    def test_write_forensic_report(self, tmp_path):
+        report = simulate_golden_cell()
+        path = tmp_path / "forensics.txt"
+        report.write_forensic_report(path)
+        assert path.read_text() == report.forensic_report() + "\n" \
+            or path.read_text() == report.forensic_report()

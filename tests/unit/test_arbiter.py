@@ -19,7 +19,7 @@ class TestRequesterWins:
     def test_no_peers_no_conflict(self):
         resolution = ConflictArbiter().resolve(0, 5, True, False, [])
         assert resolution.requester_proceeds
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
     def test_write_aborts_reader(self):
         resolution = ConflictArbiter().resolve(0, 5, True, False, [peer(1, reads=[5])])
@@ -32,7 +32,7 @@ class TestRequesterWins:
 
     def test_read_does_not_abort_reader(self):
         resolution = ConflictArbiter().resolve(0, 5, False, False, [peer(1, reads=[5])])
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
     def test_read_aborts_writer(self):
         resolution = ConflictArbiter().resolve(0, 5, False, False, [peer(1, writes=[5])])
@@ -45,7 +45,7 @@ class TestRequesterWins:
 
     def test_requester_own_view_ignored(self):
         resolution = ConflictArbiter().resolve(0, 5, True, False, [peer(0, writes=[5])])
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
 
 class TestFailedModeRequests:
@@ -54,14 +54,14 @@ class TestFailedModeRequests:
         resolution = ConflictArbiter().resolve(
             0, 5, False, True, [peer(1, writes=[5])]
         )
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
         assert resolution.requester_proceeds
 
     def test_failed_peer_is_skipped(self):
         resolution = ConflictArbiter().resolve(
             0, 5, True, False, [peer(1, reads=[5], is_failed=True)]
         )
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
 
 class TestPowerMode:
@@ -71,12 +71,12 @@ class TestPowerMode:
         )
         assert resolution.requester_abort_reason is AbortReason.NACKED
         assert resolution.nacking_core == 1
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
     def test_power_nack_shields_other_victims(self):
         peers = [peer(1, reads=[5], is_power=True), peer(2, reads=[5])]
         resolution = ConflictArbiter().resolve(0, 5, True, False, peers)
-        assert resolution.victims == []
+        assert list(resolution.victims) == []
 
     def test_power_peer_without_conflict_irrelevant(self):
         resolution = ConflictArbiter().resolve(
@@ -99,4 +99,4 @@ class TestInactivePeers:
         resolution = ConflictArbiter().resolve(
             0, 5, True, False, [peer(1, reads=[5], active=False)]
         )
-        assert resolution.victims == []
+        assert list(resolution.victims) == []

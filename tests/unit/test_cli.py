@@ -1,0 +1,88 @@
+"""Unit tests for the shared command-line flag layer (repro.cli)."""
+
+import pytest
+
+from repro import cli
+from repro.sim.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+
+
+def make_parser(**flags):
+    parser = cli.argparse.ArgumentParser()
+    cli.add_engine_flags(parser, **flags)
+    cli.add_trace_flags(parser)
+    return parser
+
+
+class TestEngineFlags:
+    def test_defaults(self):
+        args = make_parser().parse_args([])
+        assert args.jobs is None
+        assert args.cache_dir == DEFAULT_CACHE_DIR
+        assert not args.no_cache
+        assert args.trace is None
+        assert args.trace_report is None
+
+    def test_parse(self):
+        args = make_parser().parse_args(
+            ["--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache",
+             "--trace", "out.json", "--trace-report", "out.txt"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.trace == "out.json"
+        assert args.trace_report == "out.txt"
+
+    def test_jobs_validated(self):
+        parser = make_parser()
+        args = parser.parse_args(["--jobs", "0"])
+        with pytest.raises(SystemExit):
+            cli.validate_engine_flags(parser, args)
+
+    def test_valid_jobs_pass_through(self):
+        parser = make_parser()
+        args = parser.parse_args(["--jobs", "1"])
+        assert cli.validate_engine_flags(parser, args) is args
+
+    def test_resolve_jobs(self):
+        parser = make_parser()
+        assert cli.resolve_jobs(parser.parse_args(["--jobs", "3"])) == 3
+        assert cli.resolve_jobs(parser.parse_args([])) >= 1
+
+    def test_resolve_cache_dir(self):
+        parser = make_parser()
+        assert cli.resolve_cache_dir(parser.parse_args([])) == DEFAULT_CACHE_DIR
+        assert cli.resolve_cache_dir(parser.parse_args(["--no-cache"])) is None
+        assert cli.resolve_cache_dir(
+            parser.parse_args(["--cache-dir", "/tmp/x"])
+        ) == "/tmp/x"
+
+    def test_build_engine(self, tmp_path):
+        parser = make_parser()
+        args = parser.parse_args(
+            ["--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        )
+        engine = cli.build_engine(args)
+        assert isinstance(engine, ExperimentEngine)
+        assert engine.jobs == 2
+        args = parser.parse_args(["--jobs", "1", "--no-cache"])
+        engine = cli.build_engine(args)
+        assert engine.jobs == 1
+
+
+class TestScaleFlag:
+    def test_default_and_choices(self):
+        parser = cli.argparse.ArgumentParser()
+        cli.add_scale_flag(parser, ("micro", "full"), default="full")
+        assert parser.parse_args([]).scale == "full"
+        assert parser.parse_args(["--scale", "micro"]).scale == "micro"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--scale", "galactic"])
+
+
+class TestWantsTrace:
+    def test_wants_trace(self):
+        parser = make_parser()
+        assert not cli.wants_trace(parser.parse_args([]))
+        assert cli.wants_trace(parser.parse_args(["--trace", "t.json"]))
+        assert cli.wants_trace(parser.parse_args(["--trace-report", "t.txt"]))

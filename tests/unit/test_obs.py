@@ -1,0 +1,235 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the full event taxonomy (construction, dict round-trip,
+equality), the EventTrace ring buffer, and the MetricRegistry
+counters/histograms.
+"""
+
+import pytest
+
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason
+from repro.obs.events import (
+    EVENT_KINDS,
+    ARAbort,
+    ARBegin,
+    ARCommit,
+    FallbackAcquire,
+    FallbackRelease,
+    FaultInjected,
+    LockAcquire,
+    LocksRelease,
+    Park,
+    PowerAcquire,
+    PowerRelease,
+    TraceEvent,
+    Wakeup,
+    event_from_dict,
+)
+from repro.obs.metrics import Histogram, MetricCounter, MetricRegistry
+from repro.obs.trace import EventTrace, TraceSink
+
+REGION = ("genome", "segment_insert", 0)
+
+#: One representative instance of every event kind.
+SAMPLE_EVENTS = [
+    ARBegin(10, 0, REGION, ExecMode.SPECULATIVE, 1),
+    ARCommit(42, 0, REGION, ExecMode.NS_CL, 2, 1),
+    ARAbort(30, 1, REGION, ExecMode.SPECULATIVE, 1,
+            AbortReason.MEMORY_CONFLICT, line=0x42, enemy=3, enemy_write=True),
+    ARAbort(31, 2, REGION, None, 1, AbortReason.EXPLICIT_FALLBACK),
+    LockAcquire(12, 1, 0x42),
+    LocksRelease(44, 1, (0x41, 0x42)),
+    FallbackAcquire(50, 2, False),
+    FallbackRelease(60, 2, False),
+    FallbackAcquire(51, 3, True),
+    FallbackRelease(61, 3, True),
+    PowerAcquire(70, 0),
+    PowerRelease(80, 0),
+    Park(15, 3, "line:66"),
+    Park(16, 3, "fallback"),
+    Wakeup(25, 3, 10),
+    FaultInjected(33, 2, AbortReason.INJECTED_SPURIOUS, 1),
+]
+
+
+class TestEventTaxonomy:
+    def test_every_kind_registered(self):
+        assert set(EVENT_KINDS) == {
+            "ar_begin", "ar_commit", "ar_abort", "lock_acquire",
+            "locks_release", "fallback_acquire", "fallback_release",
+            "power_acquire", "power_release", "park", "wakeup",
+            "fault_injected",
+        }
+
+    @pytest.mark.parametrize(
+        "event", SAMPLE_EVENTS, ids=lambda event: repr(event)[:40]
+    )
+    def test_dict_roundtrip(self, event):
+        data = event.to_dict()
+        assert data["kind"] == event.kind
+        rebuilt = event_from_dict(data)
+        assert rebuilt == event
+        assert type(rebuilt) is type(event)
+        # The dict form is pure JSON types (enums by value, no tuples).
+        import json
+
+        assert json.loads(json.dumps(data)) == data
+
+    def test_sample_covers_every_kind(self):
+        assert {event.kind for event in SAMPLE_EVENTS} == set(EVENT_KINDS)
+
+    def test_equality_is_field_wise(self):
+        a = LockAcquire(12, 1, 0x42)
+        assert a == LockAcquire(12, 1, 0x42)
+        assert a != LockAcquire(12, 1, 0x43)
+        assert a != LocksRelease(12, 1, (0x42,))
+        assert hash(a) == hash(LockAcquire(12, 1, 0x42))
+
+    def test_abort_forensic_fields_default_none(self):
+        event = ARAbort(5, 0, REGION, ExecMode.SPECULATIVE, 1,
+                        AbortReason.CAPACITY)
+        assert event.line is None
+        assert event.enemy is None
+        assert event.enemy_write is None
+
+    def test_region_tuple_survives_roundtrip(self):
+        event = ARBegin(1, 0, REGION, ExecMode.SPECULATIVE, 1)
+        rebuilt = event_from_dict(event.to_dict())
+        assert rebuilt.region == REGION
+        assert isinstance(rebuilt.region, tuple)
+
+    def test_lines_tuple_survives_roundtrip(self):
+        event = LocksRelease(1, 0, (7, 9))
+        rebuilt = event_from_dict(event.to_dict())
+        assert rebuilt.lines == (7, 9)
+        assert isinstance(rebuilt.lines, tuple)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            event_from_dict({"kind": "no_such_event"})
+
+    def test_subclass_must_declare_kind(self):
+        with pytest.raises(TypeError, match="must define a kind"):
+            class Nameless(TraceEvent):  # noqa: F811
+                __slots__ = ()
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(TypeError, match="duplicate event kind"):
+            class Imposter(TraceEvent):
+                __slots__ = ()
+                kind = "ar_begin"
+
+
+class TestEventTrace:
+    def test_is_a_sink_and_always_truthy(self):
+        trace = EventTrace()
+        assert isinstance(trace, TraceSink)
+        assert bool(trace)  # even empty: the emission guard is `if trace:`
+        assert len(trace) == 0
+
+    def test_emit_and_iterate_in_order(self):
+        trace = EventTrace()
+        for event in SAMPLE_EVENTS:
+            trace.emit(event)
+        assert list(trace) == SAMPLE_EVENTS
+        assert trace.events() == SAMPLE_EVENTS
+        assert trace.emitted == len(SAMPLE_EVENTS)
+        assert trace.dropped == 0
+
+    def test_ring_drops_oldest(self):
+        trace = EventTrace(capacity=3)
+        for index in range(5):
+            trace.emit(LockAcquire(index, 0, index))
+        assert [event.cycle for event in trace] == [2, 3, 4]
+        assert trace.emitted == 5
+        assert trace.dropped == 2
+        assert trace.emitted - trace.dropped == len(trace)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_tail(self):
+        trace = EventTrace()
+        for index in range(4):
+            trace.emit(LockAcquire(index, 0, index))
+        assert [event.cycle for event in trace.tail(2)] == [2, 3]
+        assert trace.tail(0) == []
+        assert len(trace.tail(99)) == 4
+
+    def test_clear_keeps_counters(self):
+        trace = EventTrace()
+        trace.emit(SAMPLE_EVENTS[0])
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.emitted == 1
+
+    def test_counts_by_kind(self):
+        trace = EventTrace()
+        for event in SAMPLE_EVENTS:
+            trace.emit(event)
+        counts = trace.counts_by_kind()
+        assert counts["ar_abort"] == 2
+        assert counts["park"] == 2
+        assert sum(counts.values()) == len(SAMPLE_EVENTS)
+
+    def test_dict_roundtrip(self):
+        trace = EventTrace()
+        for event in SAMPLE_EVENTS:
+            trace.emit(event)
+        rebuilt = EventTrace.from_dicts(trace.to_dicts())
+        assert rebuilt.events() == trace.events()
+        assert rebuilt.to_dicts() == trace.to_dicts()
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = MetricCounter("aborts")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_histogram_buckets_are_powers_of_two(self):
+        histogram = Histogram("latency")
+        for value in (0, 1, 2, 3, 4, 1000):
+            histogram.observe(value)
+        # v lands in bucket v.bit_length(): 0->0, 1->1, 2..3->2, 4->3.
+        assert histogram.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+        assert histogram.count == 6
+        assert histogram.total == 1010
+        assert histogram.min == 0
+        assert histogram.max == 1000
+        assert histogram.mean == pytest.approx(1010 / 6)
+
+    def test_histogram_clamps_negative(self):
+        histogram = Histogram("latency")
+        histogram.observe(-5)
+        assert histogram.min == 0
+        assert histogram.buckets == {0: 1}
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_registry_binds_once(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        registry.counter("a").inc(2)
+        assert registry.counter_value("a") == 2
+        assert registry.counter_value("missing", default=7) == 7
+
+    def test_registry_dict_roundtrip(self):
+        registry = MetricRegistry()
+        registry.counter("aborts").inc(5)
+        registry.histogram("latency").observe(12)
+        rebuilt = MetricRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.counter_value("aborts") == 5
+        assert rebuilt.histogram("latency").count == 1
+
+    def test_registry_listings_sorted(self):
+        registry = MetricRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert [c.name for c in registry.counters()] == ["alpha", "zeta"]
