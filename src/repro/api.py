@@ -310,6 +310,21 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
     return SimulationReport(runs, trim=trim)
 
 
+def verify(workload, config=None, **kwargs):
+    """Schedule-exploration verification: ``repro.verify.verify``.
+
+    Explores the workload's schedule space (random/PCT fuzzing or the
+    exhaustive DPOR-lite explorer), checks the serializability,
+    single-retry-bound, and state-equivalence oracles on every
+    schedule, and shrinks any failure to a replayable
+    :class:`~repro.verify.ScheduleArtifact`. See
+    :func:`repro.verify.explore.verify` for the full parameter list.
+    """
+    from repro.verify import verify as _verify
+
+    return _verify(workload, config, **kwargs)
+
+
 def run_seeds(workload, config=None, *, seeds=range(1, 11), trim=PAPER_TRIM,
               **kwargs):
     """Multi-seed convenience: the :class:`AggregateResult` directly.
@@ -341,6 +356,7 @@ def sweep_retry_threshold(workload, config=None, thresholds=range(1, 11),
 __all__ = [
     "SimulationReport",
     "simulate",
+    "verify",
     "run_seeds",
     "sweep_retry_threshold",
 ]

@@ -67,6 +67,48 @@ def add_trace_flags(parser):
     return parser
 
 
+def add_explore_flags(parser):
+    """Attach the schedule-exploration knobs (``scripts/verify_schedules.py``).
+
+    ``--explore N`` sets how many schedules each workload/config cell
+    explores (for the exhaustive mode it is the tree-size cap instead),
+    ``--explore-mode`` picks the explorer, ``--explore-cores`` shrinks
+    the simulated machine to a micro core count, and ``--explore-seed``
+    seeds the fuzzing schedulers.
+    """
+    parser.add_argument(
+        "--explore", type=int, default=20, metavar="N",
+        help="schedules to explore per cell (exhaustive: max tree size; "
+             "default: %(default)s)",
+    )
+    parser.add_argument(
+        "--explore-mode", choices=("random", "pct", "exhaustive"),
+        default="random",
+        help="schedule explorer (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--explore-cores", type=int, default=2, metavar="N",
+        help="cores in the explored machine (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--explore-seed", type=int, default=0, metavar="S",
+        help="base seed for the fuzzing schedulers (default: %(default)s)",
+    )
+    return parser
+
+
+def validate_explore_flags(parser, args):
+    """Shared post-parse validation for :func:`add_explore_flags`."""
+    if args.explore < 1:
+        parser.error("--explore must be >= 1, not {}".format(args.explore))
+    if args.explore_cores < 2:
+        parser.error(
+            "--explore-cores must be >= 2 (schedule choice needs at least "
+            "two cores), not {}".format(args.explore_cores)
+        )
+    return args
+
+
 def validate_engine_flags(parser, args):
     """Shared post-parse validation for :func:`add_engine_flags`."""
     if args.jobs is not None and args.jobs < 1:
@@ -112,6 +154,8 @@ __all__ = [
     "add_engine_flags",
     "add_scale_flag",
     "add_trace_flags",
+    "add_explore_flags",
+    "validate_explore_flags",
     "validate_engine_flags",
     "resolve_jobs",
     "resolve_cache_dir",

@@ -430,14 +430,46 @@ class ExperimentEngine:
         """Convenience single-cell entry point."""
         return self.run_specs([spec])[0]
 
+    def map_cells(self, cells, execute):
+        """Fan arbitrary picklable cells through the pool machinery.
+
+        The generalized fan-out path (used by :mod:`repro.verify`
+        schedule exploration): ``execute`` is a module-level function
+        mapping one cell to a JSON-serializable dict, and ``cells`` are
+        picklable objects exposing ``workload`` / ``config`` / ``seed``
+        / ``ops_per_thread`` attributes (what progress events and
+        failure reports read). Same timeout/crash/retry fault tolerance
+        as :meth:`run_specs`, but no disk cache and no RunResult
+        decoding — raw result dicts in cell order. Strict: the first
+        failed cell raises.
+        """
+        report = self._run(
+            list(cells), execute=execute, decode=False, use_cache=False
+        )
+        if report.failures:
+            failure = report.failures[0]
+            if failure.exception is not None:
+                raise failure.exception
+            raise ExperimentCellError(
+                "cell {} ({}) failed after {} attempt(s): {}".format(
+                    failure.spec.workload, failure.kind, failure.attempts,
+                    failure.message,
+                ),
+                failure=failure,
+            )
+        return report.results
+
     # -- internals ----------------------------------------------------------
 
-    def _run(self, specs):
+    def _run(self, specs, *, execute=None, decode=True, use_cache=True):
         started = time.monotonic()
         total = len(specs)
         progress_state = {"done": 0, "cache_hits": 0}
         result_dicts = [None] * total
-        keys = [spec.cache_key() for spec in specs]
+        if execute is None:
+            execute = self._execute
+        use_cache = use_cache and self.cache is not None
+        keys = [spec.cache_key() for spec in specs] if use_cache else None
 
         def emit(index, from_cache):
             if self.progress is None:
@@ -453,7 +485,7 @@ class ExperimentEngine:
 
         def record(index, result, from_cache=False):
             result_dicts[index] = result
-            if not from_cache and self.cache:
+            if not from_cache and use_cache:
                 self.cache.store(keys[index], result, specs[index])
             progress_state["done"] += 1
             if from_cache:
@@ -461,24 +493,30 @@ class ExperimentEngine:
             emit(index, from_cache)
 
         misses = []
-        for index, key in enumerate(keys):
-            cached = self.cache.load(key) if self.cache else None
-            if cached is not None:
-                record(index, cached, from_cache=True)
-            else:
-                misses.append(index)
+        if use_cache:
+            for index, key in enumerate(keys):
+                cached = self.cache.load(key)
+                if cached is not None:
+                    record(index, cached, from_cache=True)
+                else:
+                    misses.append(index)
+        else:
+            misses = list(range(total))
 
         if not misses:
             failures = []
         elif self.jobs == 1:
-            failures = self._run_serial(specs, misses, record)
+            failures = self._run_serial(specs, misses, record, execute)
         else:
-            failures = self._run_parallel(specs, misses, record)
+            failures = self._run_parallel(specs, misses, record, execute)
 
-        results = [
-            RunResult.from_dict(result) if result is not None else None
-            for result in result_dicts
-        ]
+        if decode:
+            results = [
+                RunResult.from_dict(result) if result is not None else None
+                for result in result_dicts
+            ]
+        else:
+            results = result_dicts
         return SweepReport(
             results=results,
             failures=failures,
@@ -487,7 +525,7 @@ class ExperimentEngine:
             cache_hits=progress_state["cache_hits"],
         )
 
-    def _run_serial(self, specs, misses, record):
+    def _run_serial(self, specs, misses, record, execute):
         """In-process loop (``jobs=1``): deterministic, no timeouts.
 
         Each finished cell is persisted before the next starts, so a
@@ -496,7 +534,7 @@ class ExperimentEngine:
         failures = []
         for index in misses:
             try:
-                result = self._execute(specs[index])
+                result = execute(specs[index])
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -510,7 +548,7 @@ class ExperimentEngine:
             record(index, result)
         return failures
 
-    def _run_parallel(self, specs, misses, record):
+    def _run_parallel(self, specs, misses, record, execute):
         """Bounded-submission pool loop with deadlines and recovery.
 
         At most ``workers`` cells are in flight at once, so every
@@ -536,7 +574,7 @@ class ExperimentEngine:
                 while pending and len(inflight) < cap:
                     index = pending.popleft()
                     attempts[index] += 1
-                    future = pool.submit(self._execute, specs[index])
+                    future = pool.submit(execute, specs[index])
                     deadline = None
                     if self.cell_timeout is not None:
                         deadline = time.monotonic() + self.cell_timeout

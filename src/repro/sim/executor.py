@@ -71,7 +71,7 @@ class CoreExecutor:
         "_fault_abort_reason", "fallback_read_held", "fallback_write_held",
         "locked_lines", "_lock_groups", "_lock_group_idx", "_lock_set_held",
         "finish_time", "trace", "attempt_begin_cycle", "first_lock_cycle",
-        "fallback_entry_cycle",
+        "fallback_entry_cycle", "ledger",
     )
 
     def __init__(self, core, machine, controller=None):
@@ -80,6 +80,9 @@ class CoreExecutor:
         self.config = machine.config
         self.controller = controller
         self.trace = machine.trace
+        # Opt-in per-invocation attempt accounting for the retry-bound
+        # oracle (repro.verify); None on ordinary runs.
+        self.ledger = machine.retry_ledger
         self.phase = IDLE
         self.mode = None
         self.rng = machine.rng.child(("core", core))
@@ -204,6 +207,8 @@ class CoreExecutor:
             self.invocation_aborts = 0
             self.first_abort_footprint = None
             self.fig1_recorded = False
+            if self.ledger is not None:
+                self.ledger.note_invoke(self.core, action.region_id)
             return self._start_attempt()
         raise TypeError("unknown thread action {!r}".format(action))
 
@@ -234,6 +239,11 @@ class CoreExecutor:
             machine.stats.record_abort(
                 self.core, AbortReason.EXPLICIT_FALLBACK, self.invocation.region_id
             )
+            if self.ledger is not None:
+                # No attempt began: mode None marks the at-begin abort.
+                self.ledger.note_abort(
+                    self.core, None, AbortReason.EXPLICIT_FALLBACK
+                )
             if self.trace is not None:
                 # No attempt ever started, so there is no span to close:
                 # mode None marks the at-begin abort, and the enemy is
@@ -259,6 +269,8 @@ class CoreExecutor:
         self.gen_send_value = None
         self.phase = BODY
         machine.stats.record_begin(self.core)
+        if self.ledger is not None:
+            self.ledger.note_begin(self.core, ExecMode.SPECULATIVE)
         self.attempt_begin_cycle = machine.now
         if self.trace is not None:
             self.trace.emit(ARBegin(
@@ -334,6 +346,8 @@ class CoreExecutor:
         self.first_lock_cycle = None
         self.phase = LOCK_ACQUIRE
         self.machine.stats.record_begin(self.core)
+        if self.ledger is not None:
+            self.ledger.note_begin(self.core, mode)
         self.attempt_begin_cycle = self.machine.now
         if self.trace is not None:
             self.trace.emit(ARBegin(
@@ -450,6 +464,8 @@ class CoreExecutor:
         self.gen_send_value = None
         self.phase = BODY
         self.machine.stats.record_begin(self.core)
+        if self.ledger is not None:
+            self.ledger.note_begin(self.core, ExecMode.FALLBACK)
         self.attempt_begin_cycle = self.machine.now
         self.fallback_entry_cycle = self.machine.now
         if self.trace is not None:
@@ -714,6 +730,10 @@ class CoreExecutor:
         machine.stats.record_commit(
             self.core, mode, self.counting_retries, self.invocation.region_id
         )
+        if self.ledger is not None:
+            self.ledger.note_commit(
+                self.core, mode, self.counting_retries, via_abort=via_abort
+            )
         if self.trace is not None:
             self.trace.emit(ARCommit(
                 machine.now, self.core, self.invocation.region_id,
@@ -769,6 +789,8 @@ class CoreExecutor:
             self.core, reason, self.invocation.region_id,
             machine.now - self.attempt_begin_cycle,
         )
+        if self.ledger is not None:
+            self.ledger.note_abort(self.core, mode, reason)
         if self.trace is not None:
             self.trace.emit(ARAbort(
                 machine.now, self.core, self.invocation.region_id,

@@ -71,13 +71,28 @@ class Machine:
     :mod:`repro.obs.events` into it. Tracing never changes simulated
     behaviour — every emission site is behind an ``if trace`` guard and
     observes state the simulation computes anyway.
+
+    ``scheduler`` is an optional :class:`~repro.verify.Scheduler`: when
+    attached, ties between cores runnable at the same cycle are broken
+    by ``scheduler.pick`` instead of the built-in lowest-core-first
+    order, which is the seam the schedule explorer drives. ``None``
+    (the default) leaves the event loop untouched, and the explicit
+    :class:`~repro.verify.DefaultScheduler` is bit-identical to it.
+
+    ``retry_ledger`` is an optional :class:`~repro.verify.RetryLedger`
+    recording per-invocation attempt/abort/commit sequences for the
+    single-retry-bound oracle; ``None`` keeps the executors' hot path
+    free of accounting.
     """
 
-    def __init__(self, config, workload, seed=1, trace=None):
+    def __init__(self, config, workload, seed=1, trace=None, scheduler=None,
+                 retry_ledger=None):
         self.config = config
         self.workload = workload
         self.seed = seed
         self.trace = trace
+        self.scheduler = scheduler
+        self.retry_ledger = retry_ledger
         # Cycle of the event-loop pop currently executing; kept current
         # by run() so deep callees (stats histograms, trace emission)
         # can timestamp without threading `now` through every call.
@@ -293,6 +308,7 @@ class Machine:
         # Hot loop: bind everything touched per pop to locals.
         executors = self.executors
         stats = self.stats
+        scheduler = self.scheduler
         max_cycles = config.max_cycles
         heappush = heapq.heappush
         heappop = heapq.heappop
@@ -307,6 +323,20 @@ class Machine:
         self.event_count = 0
         while heap:
             now, core = heappop(heap)
+            if scheduler is not None and heap and heap[0][0] == now:
+                # Two or more cores are runnable this cycle: let the
+                # scheduler break the tie. Stepping a core never makes
+                # another core runnable at the *same* cycle (delays and
+                # wakeups land at now+1 or later), so re-pushed peers
+                # come back through this choice point with one fewer
+                # candidate — every pick is a real scheduling decision.
+                ready = [core]
+                while heap and heap[0][0] == now:
+                    ready.append(heappop(heap)[1])
+                ready.sort()
+                core = ready.pop(scheduler.pick(now, ready))
+                for waiting in ready:
+                    heappush(heap, (now, waiting))
             self.now = now
             if now > max_cycles:
                 self.event_count = events

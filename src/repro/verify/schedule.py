@@ -1,0 +1,293 @@
+"""Schedulers: who runs when the event loop has a choice.
+
+The machine's discrete-event loop is deterministic except for one
+degree of freedom: when several cores are runnable at the same cycle,
+*something* must pick which one steps first. The default machine
+behaviour (no scheduler attached) breaks the tie by core id — one
+point in the schedule space. A :class:`Scheduler` makes that tie-break
+pluggable, which turns the simulator into a schedule-space explorer:
+
+- :class:`DefaultScheduler` reproduces the built-in lowest-core-first
+  order (attaching it is bit-identical to attaching nothing).
+- :class:`RandomScheduler` picks uniformly at random from a seeded
+  stream — a cheap schedule fuzzer.
+- :class:`PCTScheduler` is a PCT-style priority fuzzer (Burckhardt et
+  al., "A Randomized Scheduler with Probabilistic Guarantees of
+  Finding Bugs"): cores run by random priority, with ``depth - 1``
+  priority-change points scattered over the run, which concentrates
+  probability on low-depth ordering bugs.
+- :class:`ReplayScheduler` replays a recorded decision list — the
+  deterministic re-execution backing :class:`ScheduleArtifact`.
+- :class:`RecordingScheduler` wraps any of the above and records the
+  ``(arity, choice)`` trace the explorers and the shrinker consume.
+
+A "decision" is one call to :meth:`Scheduler.pick` — the machine only
+asks when two or more cores are ready at the same cycle, so decision
+lists stay short and every entry is a real scheduling choice.
+"""
+
+import json
+
+from repro.common.rng import DeterministicRng, split_seed
+
+#: Bumped when the artifact JSON layout changes; replay rejects
+#: artifacts written by a different schema.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+class Scheduler:
+    """Tie-break policy for same-cycle runnable cores.
+
+    ``pick(now, ready)`` receives the simulated cycle and the ready
+    core ids in ascending order (always at least two — the machine does
+    not consult the scheduler when there is nothing to choose), and
+    returns an *index* into ``ready``. ``reset()`` returns the
+    scheduler to its initial state so one instance can drive several
+    runs reproducibly.
+    """
+
+    def pick(self, now, ready):
+        raise NotImplementedError
+
+    def reset(self):
+        """Restore initial state (default: stateless, nothing to do)."""
+
+
+class DefaultScheduler(Scheduler):
+    """Lowest-core-first: the machine's built-in tie-break, made explicit."""
+
+    def pick(self, now, ready):
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random tie-break from a seeded deterministic stream."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.reset()
+
+    def pick(self, now, ready):
+        return self._rng.randint(0, len(ready) - 1)
+
+    def reset(self):
+        self._rng = DeterministicRng(split_seed(self.seed, "schedule-random"))
+
+
+class PCTScheduler(Scheduler):
+    """PCT-style priority fuzzing.
+
+    Every core gets a distinct random base priority; :meth:`pick`
+    always runs the highest-priority ready core. ``depth - 1`` change
+    points are pre-drawn over an estimated ``horizon`` of decisions; at
+    each one, the currently highest-priority ready core is demoted
+    below every other priority, forcing a different ordering suffix.
+    Low ``depth`` targets bugs that need only a few badly-timed
+    preemptions — which is most of them.
+    """
+
+    def __init__(self, seed=0, num_cores=2, depth=3, horizon=256):
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.seed = seed
+        self.num_cores = num_cores
+        self.depth = depth
+        self.horizon = max(1, horizon)
+        self.reset()
+
+    def reset(self):
+        rng = DeterministicRng(split_seed(self.seed, "schedule-pct"))
+        order = list(range(self.num_cores))
+        rng.shuffle(order)
+        # Higher value = higher priority; all distinct.
+        self._priority = {core: rank for rank, core in enumerate(order)}
+        self._floor = -1
+        self._change_points = frozenset(
+            rng.randint(0, self.horizon - 1) for _ in range(self.depth - 1)
+        )
+        self._decision = 0
+
+    def pick(self, now, ready):
+        priority = self._priority
+        best = max(
+            range(len(ready)),
+            key=lambda index: priority.get(ready[index], 0),
+        )
+        if self._decision in self._change_points:
+            # Demote the core we were about to run below everything.
+            self._priority[ready[best]] = self._floor
+            self._floor -= 1
+            best = max(
+                range(len(ready)),
+                key=lambda index: priority.get(ready[index], 0),
+            )
+        self._decision += 1
+        return best
+
+
+class ReplayScheduler(Scheduler):
+    """Replay a recorded decision list, defaulting past its end.
+
+    Decision ``i`` is consumed at the ``i``-th choice point; once the
+    list is exhausted (or for an empty list) every further pick takes
+    index 0, the built-in lowest-core-first order. Out-of-range entries
+    are clamped, so a shrunk or hand-edited decision list always
+    replays to *some* schedule instead of crashing.
+    """
+
+    def __init__(self, decisions=()):
+        self.decisions = list(decisions)
+        self._cursor = 0
+
+    def pick(self, now, ready):
+        if self._cursor >= len(self.decisions):
+            return 0
+        choice = self.decisions[self._cursor]
+        self._cursor += 1
+        return max(0, min(choice, len(ready) - 1))
+
+    def reset(self):
+        self._cursor = 0
+
+
+class RecordingScheduler(Scheduler):
+    """Record the ``(arity, choice)`` trace of an inner scheduler.
+
+    ``decisions`` is the replayable choice list; ``arities`` the number
+    of ready cores at each choice point (what the exhaustive explorer
+    branches on).
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.decisions = []
+        self.arities = []
+
+    def pick(self, now, ready):
+        choice = self.inner.pick(now, ready)
+        choice = max(0, min(choice, len(ready) - 1))
+        self.decisions.append(choice)
+        self.arities.append(len(ready))
+        return choice
+
+    def reset(self):
+        self.inner.reset()
+        self.decisions = []
+        self.arities = []
+
+
+class ScheduleArtifact:
+    """A minimal, replayable description of one explored schedule.
+
+    Everything needed to re-execute the exact interleaving: the
+    workload (by registry name), its scaling, the configuration, the
+    run seed, and the decision list a :class:`ReplayScheduler` feeds
+    back into the machine. A failing exploration attaches the
+    ``violations`` it observed plus the run's stats/state digests, so
+    the artifact is simultaneously the bug report and the one-command
+    reproduction (``scripts/verify_schedules.py --replay artifact.json``).
+    """
+
+    def __init__(self, workload, config, seed, decisions, *,
+                 ops_per_thread=None, violations=(), decision_points=None,
+                 stats_sha256=None, state_sha256=None, notes=""):
+        self.workload = workload
+        self.config = config
+        self.seed = seed
+        self.decisions = list(decisions)
+        self.ops_per_thread = ops_per_thread
+        self.violations = list(violations)
+        self.decision_points = decision_points
+        self.stats_sha256 = stats_sha256
+        self.state_sha256 = state_sha256
+        self.notes = notes
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-serializable form (the on-disk artifact format)."""
+        return {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "ops_per_thread": self.ops_per_thread,
+            "config": self.config.to_dict(),
+            "seed": self.seed,
+            "decisions": list(self.decisions),
+            "decision_points": self.decision_points,
+            "violations": [dict(violation) for violation in self.violations],
+            "stats_sha256": self.stats_sha256,
+            "state_sha256": self.state_sha256,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an artifact from :meth:`to_dict` output."""
+        from repro.sim.config import SimConfig
+
+        version = data.get("schema_version")
+        if version != ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported ScheduleArtifact schema {!r} (expected {})".format(
+                    version, ARTIFACT_SCHEMA_VERSION
+                )
+            )
+        return cls(
+            workload=data["workload"],
+            config=SimConfig.from_dict(data["config"]),
+            seed=data["seed"],
+            decisions=data["decisions"],
+            ops_per_thread=data.get("ops_per_thread"),
+            violations=data.get("violations", ()),
+            decision_points=data.get("decision_points"),
+            stats_sha256=data.get("stats_sha256"),
+            state_sha256=data.get("state_sha256"),
+            notes=data.get("notes", ""),
+        )
+
+    def to_json(self, indent=2):
+        """The artifact as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        """Parse an artifact from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        """Write the artifact JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Read an artifact back from :meth:`save` output."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def scheduler(self):
+        """A fresh :class:`ReplayScheduler` for this artifact."""
+        return ReplayScheduler(self.decisions)
+
+    def replay(self, *, trace=False, machine_hook=None):
+        """Re-execute this schedule; returns a ScheduleOutcome.
+
+        The workload is rebuilt from the registry by name; the machine
+        runs under a :class:`ReplayScheduler` with the runtime oracles
+        armed, exactly like the exploration run that produced the
+        artifact. Pass ``trace=True`` to also capture the event trace
+        (for the forensic report of a failure).
+        """
+        from repro.verify.explore import replay_artifact
+
+        return replay_artifact(self, trace=trace, machine_hook=machine_hook)
+
+    def __repr__(self):
+        return "ScheduleArtifact({!r}, {}, seed={}, decisions={}, violations={})".format(
+            self.workload, self.config.config_letter, self.seed,
+            len(self.decisions), len(self.violations),
+        )

@@ -1,0 +1,83 @@
+"""ddmin-style minimization of failing schedules.
+
+A schedule is a decision list; decision 0 is the default tie-break, so
+a schedule's "interesting" content is its sparse set of *non-default*
+decisions ``{position: choice}``. :func:`shrink_decisions` minimizes
+that sparse set with Zeller's ddmin — repeatedly re-running the
+schedule with subsets removed (removed positions fall back to the
+default choice) and keeping any reduction that still reproduces the
+failure — then rebuilds the shortest dense decision list. Replay is
+deterministic, so every probe is exact, and the replay scheduler's
+default-past-the-end behaviour means truncation is always safe.
+"""
+
+
+def _to_sparse(decisions):
+    """Non-default entries of a dense decision list as (position, choice)."""
+    return [
+        (position, choice)
+        for position, choice in enumerate(decisions)
+        if choice != 0
+    ]
+
+
+def _to_dense(sparse):
+    """Rebuild the shortest dense decision list from sparse entries."""
+    if not sparse:
+        return []
+    length = max(position for position, _ in sparse) + 1
+    dense = [0] * length
+    for position, choice in sparse:
+        dense[position] = choice
+    return dense
+
+
+def ddmin(items, predicate):
+    """Zeller's ddmin: a 1-minimal subset of ``items`` satisfying ``predicate``.
+
+    ``predicate`` must hold for ``items`` itself. The result is
+    1-minimal: removing any single remaining element breaks the
+    predicate (assuming a deterministic predicate).
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        size = len(items)
+        chunk = -(-size // granularity)  # ceil
+        chunks = [items[start:start + chunk] for start in range(0, size, chunk)]
+        reduced = False
+        for index in range(len(chunks)):
+            candidate = [
+                element
+                for position, part in enumerate(chunks)
+                if position != index
+                for element in part
+            ]
+            if predicate(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+def shrink_decisions(decisions, still_fails):
+    """Minimal decision list still satisfying ``still_fails``.
+
+    ``still_fails`` receives a dense decision list and returns whether
+    the failure reproduces. The original list must fail. Shrinks the
+    sparse non-default set via :func:`ddmin`, with an all-default
+    fast path (the failure may not depend on the decisions at all —
+    e.g. a bug the default schedule also triggers).
+    """
+    if not still_fails(list(decisions)):
+        raise ValueError("the original schedule must reproduce the failure")
+    if still_fails([]):
+        return []
+    sparse = _to_sparse(decisions)
+    minimal = ddmin(sparse, lambda subset: still_fails(_to_dense(subset)))
+    return _to_dense(minimal)

@@ -116,10 +116,11 @@ class TestWholeWorkloadWithAblations:
         dict(scl_lock_policy="all", crt_enabled=False,
              failed_mode_discovery=False),
     ])
-    def test_bitcoin_conserves_under_every_ablation(self, overrides):
-        config = SimConfig.for_letter("W", num_cores=4, **overrides)
-        workload = make_workload("bitcoin", ops_per_thread=10)
-        machine = Machine(config, workload, seed=3)
+    def test_bitcoin_conserves_under_every_ablation(self, micro_machine,
+                                                    overrides):
+        machine = micro_machine("bitcoin", "W", cores=4, seed=3,
+                                ops_per_thread=10, **overrides)
         stats = machine.run()
+        workload = machine.workload
         assert not stats.truncated
         assert workload.total_balance(machine.memory) == workload.num_wallets * 10_000

@@ -8,6 +8,8 @@ the injected fault sequence must be bit-reproducible from the seed.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.htm.abort import AbortCategory
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine

@@ -19,6 +19,8 @@ import os
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis.experiments import ExperimentSettings, figure_payload, run_config_matrix
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine

@@ -2,16 +2,16 @@
 
 import pytest
 
-from repro.sim.config import SimConfig
-from repro.sim.machine import Machine
-from repro.workloads import make_workload
 
+@pytest.fixture
+def run(micro_machine):
+    def go(name, letter, seed, ops=6):
+        machine = micro_machine(name, letter, cores=4, seed=seed,
+                                ops_per_thread=ops)
+        stats = machine.run()
+        return machine, stats
 
-def run(name, letter, seed, ops=6):
-    workload = make_workload(name, ops_per_thread=ops)
-    machine = Machine(SimConfig.for_letter(letter, num_cores=4), workload, seed)
-    stats = machine.run()
-    return machine, stats
+    return go
 
 
 def fingerprint(machine, stats):
@@ -28,12 +28,12 @@ def fingerprint(machine, stats):
 @pytest.mark.parametrize("letter", ("B", "W"))
 @pytest.mark.parametrize("name", ("mwobject", "bst", "intruder"))
 class TestDeterminism:
-    def test_same_seed_identical_run(self, letter, name):
+    def test_same_seed_identical_run(self, run, letter, name):
         first = fingerprint(*run(name, letter, seed=11))
         second = fingerprint(*run(name, letter, seed=11))
         assert first == second
 
-    def test_different_seed_different_run(self, letter, name):
+    def test_different_seed_different_run(self, run, letter, name):
         first = fingerprint(*run(name, letter, seed=11))
         second = fingerprint(*run(name, letter, seed=12))
         assert first != second

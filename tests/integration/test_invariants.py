@@ -21,6 +21,7 @@ def run(name, letter, seed=3, cores=4, ops=6):
     return machine, workload, stats
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ALL_NAMES)
 @pytest.mark.parametrize("letter", CONFIG_LETTERS)
 class TestAllWorkloadsAllConfigs:

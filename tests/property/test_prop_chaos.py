@@ -6,12 +6,15 @@ serializability oracle and the leak checks, (b) keep every final
 data-structure invariant, and (c) be bit-reproducible from its seed.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
+
+pytestmark = pytest.mark.slow
 
 
 def build_machine(name, letter, seed, spurious, capacity, jitter):
