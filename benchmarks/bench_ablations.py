@@ -27,7 +27,7 @@ OPS = 12
 
 
 def run(name, **overrides):
-    config = SimConfig.for_letter("C", num_cores=CORES, **overrides)
+    config = SimConfig.for_design("clear", num_cores=CORES, **overrides)
     return api.run_seeds(
         name, config, seeds=SEEDS, trim=0, ops_per_thread=OPS
     )
@@ -142,7 +142,7 @@ def test_ablation_retry_threshold(benchmark):
             table[name] = {
                 threshold: api.run_seeds(
                     name,
-                    SimConfig.for_letter("B", num_cores=CORES,
+                    SimConfig.for_design("baseline", num_cores=CORES,
                                          retry_threshold=threshold),
                     seeds=SEEDS, trim=0, ops_per_thread=OPS,
                 ).cycles

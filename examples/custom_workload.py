@@ -15,6 +15,7 @@ Usage:  python examples/custom_workload.py
 """
 
 from repro import Machine, SimConfig
+from repro.htm.design import design_name
 from repro.common.constants import WORDS_PER_LINE
 from repro.sim.program import Branch, Load, Store
 from repro.workloads.base import Mutability, RegionSpec, Workload
@@ -99,7 +100,7 @@ def main():
     expected = NUM_ACCOUNTS * INITIAL_BALANCE
     for letter in ("B", "P", "C", "W"):
         workload = BankWorkload()
-        machine = Machine(SimConfig.for_letter(letter, num_cores=8), workload, seed=2)
+        machine = Machine(SimConfig.for_design(design_name(letter), num_cores=8), workload, seed=2)
         stats = machine.run()
         total = workload.total_money(machine.memory)
         status = "OK " if total == expected else "LOST MONEY!"

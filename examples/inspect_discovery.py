@@ -14,7 +14,7 @@ from repro.analysis.report import render_table
 
 
 def inspect(name):
-    config = SimConfig.for_letter("C", num_cores=8)
+    config = SimConfig.for_design("clear", num_cores=8)
     workload = make_workload(name, ops_per_thread=15)
     machine = Machine(config, workload, seed=1)
     stats = machine.run()

@@ -10,6 +10,7 @@ Usage:  python examples/quickstart.py
 """
 
 from repro import SimConfig, api
+from repro.htm.design import design_name
 from repro.core.modes import ExecMode
 
 
@@ -32,7 +33,7 @@ def main():
     results = {}
     for letter in ("B", "W"):
         report = api.simulate(
-            "mwobject", SimConfig.for_letter(letter, num_cores=16),
+            "mwobject", SimConfig.for_design(design_name(letter), num_cores=16),
             seeds=1, ops_per_thread=20,
         )
         result = report.run

@@ -39,6 +39,7 @@ import time
 
 from repro import api, cli
 from repro.cli import argparse
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
@@ -64,7 +65,7 @@ def cell_name(workload, letter, cores):
 
 def measure_cell(workload, letter, cores, ops_per_thread, reps):
     """Best-of-``reps`` wall time for one cell; returns the cell dict."""
-    config = SimConfig.for_letter(letter, num_cores=cores)
+    config = SimConfig.for_design(design_name(letter), num_cores=cores)
     best_wall = None
     events = commits = aborts = None
     for _ in range(reps):
@@ -242,7 +243,7 @@ def export_trace(args, micro):
     workload, letter, cores = "genome", "B", (4 if micro else 32)
     ops = 4 if micro else OPS_PER_THREAD
     report = api.simulate(
-        workload, SimConfig.for_letter(letter, num_cores=cores),
+        workload, SimConfig.for_design(design_name(letter), num_cores=cores),
         seeds=SEED, ops_per_thread=ops, trace=True,
         engine=cli.build_engine(args),
     )

@@ -41,6 +41,7 @@ def compute_figures():
 
 def compute_trace():
     from repro import api
+    from repro.htm.design import design_name
     from repro.sim.config import SimConfig
 
     current = load(os.path.join(GOLDEN_DIR, "trace_micro.json"))
@@ -48,7 +49,7 @@ def compute_trace():
     # existing golden; only the event stream is recomputed.
     report = api.simulate(
         current["workload"],
-        SimConfig.for_letter(current["config"],
+        SimConfig.for_design(design_name(current["config"]),
                              num_cores=current["num_cores"]),
         seeds=current["seed"], ops_per_thread=current["ops_per_thread"],
         trace=True,

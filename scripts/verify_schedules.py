@@ -38,8 +38,9 @@ def parse_args(argv):
              "benchmark (default: %(default)s)",
     )
     parser.add_argument(
-        "--config", default="B", metavar="LETTER",
-        help="paper configuration letter (default: %(default)s)",
+        "--config", default="baseline", metavar="DESIGN",
+        help="HTM design name (legacy B/P/C/W letters still resolve; "
+             "default: %(default)s)",
     )
     parser.add_argument(
         "--seed", type=int, default=1, metavar="S",

@@ -15,36 +15,33 @@ Quickstart::
 
     from repro import api
 
-    report = api.simulate("mwobject", "W", seeds=1)   # CLEAR over PowerTM
+    report = api.simulate("mwobject", "clear+powertm", seeds=1)
     print(report.stats.summary())
 
-:func:`repro.api.simulate` is the single supported entry point; the
-historical ``run_workload``/``run_seeds``/``sweep_retry_threshold``
-trio still works but emits :class:`DeprecationWarning` (see the README
-migration table).
+:func:`repro.api.simulate` is the single supported entry point. HTM
+designs are pluggable: :class:`repro.HtmDesign` is the backend
+protocol, :data:`repro.DESIGN_REGISTRY` maps design names to
+implementations, and :func:`repro.register_design` adds new ones (see
+DESIGN.md §12). The historical ``run_workload``/``run_seeds``/
+``sweep_retry_threshold`` trio still lives in :mod:`repro.sim.runner`
+with a :class:`DeprecationWarning` but is no longer re-exported here.
 """
 
 from repro.core.modes import ExecMode
+from repro.htm.design import DESIGN_REGISTRY, HtmDesign, register_design
 from repro.sim.config import SimConfig
 from repro.sim.engine import ExperimentEngine, RunSpec, run_specs
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import Machine
 from repro.sim.oracle import RuntimeOracle
-from repro.sim.runner import (
-    AggregateResult,
-    RunResult,
-    run_seeds,
-    run_workload,
-    sweep_retry_threshold,
-    trimmed_mean,
-)
+from repro.sim.runner import AggregateResult, RunResult
 from repro.energy.model import EnergyModel
 from repro.workloads import ALL_NAMES, make_workload
 from repro import api, obs
 from repro.api import SimulationReport, simulate
 from repro.obs import EventTrace, MetricRegistry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
@@ -55,6 +52,9 @@ __all__ = [
     "MetricRegistry",
     "ExecMode",
     "SimConfig",
+    "HtmDesign",
+    "DESIGN_REGISTRY",
+    "register_design",
     "Machine",
     "AggregateResult",
     "RunResult",
@@ -63,10 +63,6 @@ __all__ = [
     "FaultPlan",
     "RuntimeOracle",
     "run_specs",
-    "run_seeds",
-    "run_workload",
-    "sweep_retry_threshold",
-    "trimmed_mean",
     "EnergyModel",
     "ALL_NAMES",
     "make_workload",

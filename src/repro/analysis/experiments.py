@@ -13,6 +13,7 @@ PowerTM (Fig. 8-13 group bars as B P C W).
 from repro.core.modes import ExecMode
 from repro.htm.abort import AbortCategory
 from repro.analysis.report import geometric_mean
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.engine import ExperimentEngine, RunSpec
 from repro.sim.runner import AggregateResult, select_best_threshold
@@ -75,9 +76,9 @@ class ExperimentSettings:
         )
 
     def config_for(self, letter):
-        """SimConfig for one of the B/P/C/W configurations."""
-        return SimConfig.for_letter(
-            letter, num_cores=self.num_cores,
+        """SimConfig for a configuration (legacy letter or design name)."""
+        return SimConfig.for_design(
+            design_name(letter), num_cores=self.num_cores,
             retry_threshold=self.retry_threshold,
             **self.config_overrides
         )

@@ -3,7 +3,7 @@
 One entry point — :func:`simulate` — replaces the historical trio of
 ``run_workload`` / ``run_seeds`` / ``sweep_retry_threshold`` spread
 across :mod:`repro.sim.runner`. It accepts a workload by name or
-factory, a configuration by object or paper letter, any number of
+factory, a configuration by object or design name, any number of
 seeds, and optional tracing/oracle/engine knobs, and returns a
 :class:`SimulationReport` that carries every run, the trimmed-mean
 aggregate, and any captured event traces.
@@ -12,7 +12,7 @@ Quickstart::
 
     from repro import api
 
-    report = api.simulate("genome", "W", seeds=(1, 2, 3), trace=True)
+    report = api.simulate("genome", "clear+powertm", seeds=(1, 2, 3), trace=True)
     print(report.stats.summary())
     report.write_chrome_trace("trace.json")      # load in Perfetto
     print(report.forensic_report())
@@ -29,10 +29,12 @@ Old                                    New
 """
 
 import numbers
+import warnings
 
 from repro.common.constants import PAPER_TRIM, SWEEP_TRIM
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import Serializable
+from repro.htm.design import DESIGN_REGISTRY, LEGACY_LETTER_DESIGNS
 from repro.obs.chrome import write_chrome_trace
 from repro.obs.report import forensic_report as _forensic_report
 from repro.obs.report import write_forensic_report
@@ -45,24 +47,35 @@ from repro.sim.runner import (
     _sweep_retry_threshold,
 )
 
-_CONFIG_LETTERS = ("B", "P", "C", "W")
-
-
 def _resolve_config(config, oracle):
-    """Accept a SimConfig, a paper letter (B/P/C/W), or None."""
+    """Accept a SimConfig, a design name, a legacy paper letter, or None.
+
+    Design names (``DESIGN_REGISTRY`` keys) are the canonical string
+    spelling; the paper letters B/P/C/W still resolve but raise a
+    :class:`DeprecationWarning`.
+    """
     if config is None:
         config = SimConfig()
     elif isinstance(config, str):
-        if config not in _CONFIG_LETTERS:
-            raise ConfigurationError(
-                "config letter must be one of {}, not {!r}".format(
-                    "/".join(_CONFIG_LETTERS), config
-                )
+        if config in DESIGN_REGISTRY:
+            config = SimConfig.for_design(config)
+        elif config in LEGACY_LETTER_DESIGNS:
+            name = LEGACY_LETTER_DESIGNS[config]
+            warnings.warn(
+                "config letter {!r} is deprecated; pass the design name "
+                "{!r} instead".format(config, name),
+                DeprecationWarning,
+                stacklevel=3,
             )
-        config = SimConfig.for_letter(config)
+            config = SimConfig.for_design(name)
+        else:
+            raise ConfigurationError(
+                "config must name a registered design ({}), not "
+                "{!r}".format(", ".join(sorted(DESIGN_REGISTRY)), config)
+            )
     elif not isinstance(config, SimConfig):
         raise TypeError(
-            "config must be a SimConfig, a paper letter, or None, not "
+            "config must be a SimConfig, a design name, or None, not "
             "{!r}".format(type(config).__name__)
         )
     if oracle and not config.oracle:
@@ -217,8 +230,11 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
         A benchmark name from the registry (``repro.ALL_NAMES``) or a
         zero-argument workload factory.
     config:
-        A :class:`~repro.sim.config.SimConfig`, a paper configuration
-        letter (``"B"``/``"P"``/``"C"``/``"W"``), or None for defaults.
+        A :class:`~repro.sim.config.SimConfig`, a registered design
+        name (``"baseline"``/``"powertm"``/``"clear"``/
+        ``"clear+powertm"``/``"lrw"``/``"bigatomics"``), or None for
+        defaults. The paper letters ``"B"``/``"P"``/``"C"``/``"W"``
+        still resolve, with a :class:`DeprecationWarning`.
     seeds:
         One seed (int) or an iterable of seeds; one run per seed.
     trim:

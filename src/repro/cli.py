@@ -19,6 +19,7 @@ Usage::
 import argparse
 import os
 
+from repro.htm.design import DESIGN_REGISTRY
 from repro.sim.engine import DEFAULT_CACHE_DIR, ExperimentEngine
 
 
@@ -35,6 +36,19 @@ def add_engine_flags(parser, cache_default=DEFAULT_CACHE_DIR):
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk cache entirely",
+    )
+    return parser
+
+
+def add_design_flag(parser, default="baseline"):
+    """Attach the shared ``--design`` knob selecting the HTM backend.
+
+    Choices come from :data:`~repro.htm.design.DESIGN_REGISTRY`, so
+    designs registered by the calling script automatically appear.
+    """
+    parser.add_argument(
+        "--design", choices=sorted(DESIGN_REGISTRY), default=default,
+        help="HTM design backend (default: %(default)s)",
     )
     return parser
 
@@ -152,6 +166,7 @@ def wants_trace(args):
 
 __all__ = [
     "add_engine_flags",
+    "add_design_flag",
     "add_scale_flag",
     "add_trace_flags",
     "add_explore_flags",

@@ -11,10 +11,19 @@ four evaluated configurations:
 - :mod:`repro.htm.powertm` — the single power-mode token of PowerTM.
 - :mod:`repro.htm.arbiter` — requester-wins conflict arbitration with
   the PowerTM and CLEAR/S-CL NACK refinements.
+- :mod:`repro.htm.design` — the pluggable :class:`HtmDesign` backend
+  protocol and :data:`DESIGN_REGISTRY` of named designs.
 """
 
 from repro.htm.abort import AbortReason, AbortCategory, categorize_abort
-from repro.htm.rwset import ReadWriteSets, CapacityExceeded
+from repro.htm.design import (
+    DESIGN_REGISTRY,
+    LEGACY_LETTER_DESIGNS,
+    HtmDesign,
+    design_name,
+    register_design,
+)
+from repro.htm.rwset import LimitedReadWriteSets, ReadWriteSets, CapacityExceeded
 from repro.htm.fallback import FallbackLock
 from repro.htm.powertm import PowerToken
 from repro.htm.arbiter import ConflictArbiter, Resolution
@@ -23,7 +32,13 @@ __all__ = [
     "AbortReason",
     "AbortCategory",
     "categorize_abort",
+    "HtmDesign",
+    "DESIGN_REGISTRY",
+    "LEGACY_LETTER_DESIGNS",
+    "register_design",
+    "design_name",
     "ReadWriteSets",
+    "LimitedReadWriteSets",
     "CapacityExceeded",
     "FallbackLock",
     "PowerToken",

@@ -62,7 +62,18 @@ NO_CONFLICT.victims = ()
 
 
 class ConflictArbiter:
-    """Pure conflict-resolution policy (no machine state)."""
+    """Pure conflict-resolution policy (no machine state).
+
+    ``design`` is the machine's :class:`~repro.htm.design.HtmDesign`
+    instance; when present, its ``conflict_nacker`` hook decides whether
+    the power-token holder NACKs the requester. Without a design (unit
+    tests, the legacy oracle path) the built-in PowerTM rule applies —
+    which is exactly what every registered design currently implements,
+    keeping the ``resolve``/``resolve_line`` cross-check valid.
+    """
+
+    def __init__(self, design=None):
+        self._design = design
 
     def resolve_line(self, requester_core, line, is_write, requester_failed,
                      sharers, power_core=None, requester_unstoppable=False):
@@ -98,12 +109,19 @@ class ConflictArbiter:
         if not conflicting:
             return NO_CONFLICT
 
-        if (power_core is not None and not requester_unstoppable
-                and power_core in conflicting):
-            return Resolution(
-                requester_abort_reason=AbortReason.NACKED,
-                nacking_core=power_core,
-            )
+        if power_core is not None and power_core in conflicting:
+            if self._design is not None:
+                nacker = self._design.conflict_nacker(
+                    power_core=power_core,
+                    requester_unstoppable=requester_unstoppable,
+                )
+            else:
+                nacker = None if requester_unstoppable else power_core
+            if nacker is not None:
+                return Resolution(
+                    requester_abort_reason=AbortReason.NACKED,
+                    nacking_core=nacker,
+                )
         return Resolution(victims=sorted(conflicting))
 
     def resolve(self, requester_core, line, is_write, requester_failed, peers,

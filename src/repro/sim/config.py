@@ -1,15 +1,22 @@
 """Machine configuration (paper Table 2) and policy selection.
 
-The four evaluated configurations map onto two booleans:
+The HTM design is selected by the canonical ``design`` field, keyed
+into :data:`~repro.htm.design.DESIGN_REGISTRY`. The paper's four
+configurations map onto the legacy letters:
 
-========== =================== =============
-Paper name ``powertm``          ``clear``
-========== =================== =============
-B           False               False
-P           True                False
-C           False               True
-W           True                True
-========== =================== =============
+========== ===================
+Paper name ``design``
+========== ===================
+B           ``baseline``
+P           ``powertm``
+C           ``clear``
+W           ``clear+powertm``
+========== ===================
+
+The historical ``powertm``/``clear`` booleans survive as deprecated
+constructor aliases (and silent read properties) that normalize into
+``design``; :meth:`SimConfig.from_dict` migrates pre-v3 payloads that
+still spell them.
 
 :class:`SimConfig` is a frozen dataclass: every field is declared
 exactly once, and ``replaced()``/``to_dict()``/``from_dict()``/
@@ -22,9 +29,17 @@ import dataclasses
 import enum
 import hashlib
 import json
+import warnings
 
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import Serializable
+from repro.htm.design import (
+    DESIGN_REGISTRY,
+    LEGACY_LETTER_DESIGNS,
+    design_name,
+)
+
+_UNSET = object()
 
 
 class HtmPolicy(enum.Enum):
@@ -32,6 +47,22 @@ class HtmPolicy(enum.Enum):
 
     REQUESTER_WINS = "requester_wins"
     POWER_TM = "power_tm"
+
+
+def _design_from_flags(powertm, clear):
+    """The design name the legacy boolean pair spells."""
+    if clear:
+        return "clear+powertm" if powertm else "clear"
+    return "powertm" if powertm else "baseline"
+
+
+def _warn_flag_kwargs():
+    warnings.warn(
+        "SimConfig(powertm=..., clear=...) is deprecated; pass "
+        "design='baseline'/'powertm'/'clear'/'clear+powertm' instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,11 +100,13 @@ class SimConfig(Serializable):
     speculation: str = "htm"
     # -- HTM policy --
     retry_threshold: int = 5
-    powertm: bool = False
     backoff_base: int = 8
     backoff_max_exponent: int = 6
+    # -- HTM design (repro.htm.design) --
+    # Canonical registry key selecting the protocol backend; the
+    # deprecated powertm/clear constructor aliases normalize into it.
+    design: str = "baseline"
     # -- CLEAR --
-    clear: bool = False
     ert_entries: int = 16
     alt_entries: int = 32
     crt_entries: int = 64
@@ -88,6 +121,16 @@ class SimConfig(Serializable):
     failed_mode_discovery: bool = True
     # §5: the Conflicting Reads Table feeding S-CL lock promotion.
     crt_enabled: bool = True
+    # -- LRW (design "lrw"): flat per-attempt tracking budgets --
+    # Distinct lines the bounded read/write tracking structures hold
+    # before the attempt overflows straight to the fallback path.
+    lrw_read_lines: int = 64
+    lrw_write_lines: int = 16
+    # -- Big Atomics (design "bigatomics") --
+    # Footprints of at most this many lines commit multiword-atomically
+    # in a short constant time instead of the full commit sequence.
+    bigatomics_lines: int = 8
+    bigatomics_commit_cycles: int = 6
     # -- transaction overheads (cycles) --
     tx_begin_cycles: int = 30
     tx_commit_cycles: int = 25
@@ -133,6 +176,16 @@ class SimConfig(Serializable):
             raise ConfigurationError("retry threshold must be >= 1")
         if self.alt_entries < 1 or self.ert_entries < 1:
             raise ConfigurationError("CLEAR tables need at least one entry")
+        if self.design not in DESIGN_REGISTRY:
+            raise ConfigurationError(
+                "unknown design {!r}; registered designs: {}".format(
+                    self.design, ", ".join(sorted(DESIGN_REGISTRY))
+                )
+            )
+        for knob in ("lrw_read_lines", "lrw_write_lines",
+                     "bigatomics_lines", "bigatomics_commit_cycles"):
+            if getattr(self, knob) < 1:
+                raise ConfigurationError("{} must be >= 1".format(knob))
         if self.speculation not in ("htm", "sle"):
             raise ConfigurationError(
                 "speculation must be 'htm' or 'sle', not {!r}".format(
@@ -177,19 +230,55 @@ class SimConfig(Serializable):
         )
 
     @property
+    def design_class(self):
+        """The registered :class:`~repro.htm.design.HtmDesign` subclass."""
+        return DESIGN_REGISTRY[self.design]
+
+    @property
+    def powertm(self):
+        """Whether the selected design uses power-token priority.
+
+        Read-only compatibility property over ``design``; reading it is
+        not deprecated (the flag spelling in constructors is).
+        """
+        return self.design_class.powertm
+
+    @property
+    def clear(self):
+        """Whether the selected design runs the CLEAR mechanism."""
+        return self.design_class.clear
+
+    @property
     def htm_policy(self):
         """The conflict-resolution baseline in use."""
         return HtmPolicy.POWER_TM if self.powertm else HtmPolicy.REQUESTER_WINS
 
     @property
     def config_letter(self):
-        """The paper's single-letter configuration name (B/P/C/W)."""
-        if self.clear:
-            return "W" if self.powertm else "C"
-        return "P" if self.powertm else "B"
+        """The paper's letter (B/P/C/W), or the design name otherwise."""
+        return self.design_class.letter or self.design
 
     def replaced(self, **overrides):
-        """A copy of this configuration with some fields replaced."""
+        """A copy of this configuration with some fields replaced.
+
+        Accepts the deprecated ``powertm``/``clear`` aliases (with a
+        :class:`DeprecationWarning`), layering them over the current
+        design's flags and normalizing the pair into ``design``.
+        """
+        legacy_powertm = overrides.pop("powertm", _UNSET)
+        legacy_clear = overrides.pop("clear", _UNSET)
+        if legacy_powertm is not _UNSET or legacy_clear is not _UNSET:
+            _warn_flag_kwargs()
+            flags_design = _design_from_flags(
+                self.powertm if legacy_powertm is _UNSET else legacy_powertm,
+                self.clear if legacy_clear is _UNSET else legacy_clear,
+            )
+            declared = overrides.setdefault("design", flags_design)
+            if declared != flags_design:
+                raise ConfigurationError(
+                    "design={!r} conflicts with the deprecated powertm/clear "
+                    "flags (which spell {!r})".format(declared, flags_design)
+                )
         return dataclasses.replace(self, **overrides)
 
     def to_dict(self):
@@ -203,10 +292,29 @@ class SimConfig(Serializable):
     def from_dict(cls, data):
         """Rebuild a configuration from :meth:`to_dict` output.
 
-        Unknown keys raise :class:`ConfigurationError` rather than being
+        Pre-v3 payloads spelled the design as ``powertm``/``clear``
+        booleans; they are migrated silently (no warning — cached
+        results are not the caller's code) into the equivalent
+        ``design`` name, so legacy payloads deserialize to the same
+        normalized fingerprint as their modern spelling. Other unknown
+        keys still raise :class:`ConfigurationError` rather than being
         silently dropped, so stale cache entries or hand-edited configs
         fail loudly.
         """
+        data = dict(data)
+        legacy_powertm = data.pop("powertm", _UNSET)
+        legacy_clear = data.pop("clear", _UNSET)
+        if legacy_powertm is not _UNSET or legacy_clear is not _UNSET:
+            migrated = _design_from_flags(
+                legacy_powertm is not _UNSET and legacy_powertm,
+                legacy_clear is not _UNSET and legacy_clear,
+            )
+            declared = data.setdefault("design", migrated)
+            if declared != migrated:
+                raise ConfigurationError(
+                    "design {!r} conflicts with the legacy powertm/clear "
+                    "keys (which spell {!r})".format(declared, migrated)
+                )
         known = {field.name for field in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -227,16 +335,68 @@ class SimConfig(Serializable):
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
+    def for_design(cls, name, **overrides):
+        """Build a configuration for a registered design by name.
+
+        The canonical constructor convenience; ``name`` must be a
+        :data:`~repro.htm.design.DESIGN_REGISTRY` key (legacy letters
+        belong to the deprecated :meth:`for_letter`).
+        """
+        return cls(design=name, **overrides)
+
+    @classmethod
     def for_letter(cls, letter, **overrides):
-        """Build a configuration from the paper's B/P/C/W naming."""
-        flags = {
-            "B": dict(powertm=False, clear=False),
-            "P": dict(powertm=True, clear=False),
-            "C": dict(powertm=False, clear=True),
-            "W": dict(powertm=True, clear=True),
-        }
-        if letter not in flags:
+        """Deprecated: build from the paper's B/P/C/W naming.
+
+        Use :meth:`for_design` with the design name instead ("B" ->
+        "baseline", "P" -> "powertm", "C" -> "clear", "W" ->
+        "clear+powertm").
+        """
+        if letter not in LEGACY_LETTER_DESIGNS:
             raise ConfigurationError("unknown configuration {!r}".format(letter))
-        fields = dict(flags[letter])
-        fields.update(overrides)
-        return cls(**fields)
+        name = LEGACY_LETTER_DESIGNS[letter]
+        warnings.warn(
+            "SimConfig.for_letter({!r}) is deprecated; use "
+            "SimConfig.for_design({!r})".format(letter, name),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls(design=name, **overrides)
+
+
+# The generated __init__ is wrapped (not replaced) so the deprecated
+# powertm/clear keyword aliases keep working one release longer: they
+# warn, normalize into `design`, and are rejected when inconsistent
+# with an explicitly passed design. dataclasses.replace() and every
+# internal construction path go through the same wrapper with plain
+# field kwargs, paying one tuple check.
+_FIELD_INIT = SimConfig.__init__
+
+
+def _shim_init(self, *args, powertm=_UNSET, clear=_UNSET, **kwargs):
+    if powertm is not _UNSET or clear is not _UNSET:
+        _warn_flag_kwargs()
+        flags_design = _design_from_flags(
+            powertm is not _UNSET and powertm,
+            clear is not _UNSET and clear,
+        )
+        declared = kwargs.setdefault("design", flags_design)
+        if declared != flags_design:
+            raise ConfigurationError(
+                "design={!r} conflicts with the deprecated powertm/clear "
+                "flags (which spell {!r})".format(declared, flags_design)
+            )
+    _FIELD_INIT(self, *args, **kwargs)
+
+
+_shim_init.__wrapped__ = _FIELD_INIT
+SimConfig.__init__ = _shim_init
+
+
+__all__ = [
+    "HtmPolicy",
+    "SimConfig",
+    "DESIGN_REGISTRY",
+    "LEGACY_LETTER_DESIGNS",
+    "design_name",
+]

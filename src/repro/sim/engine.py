@@ -47,7 +47,9 @@ from repro.workloads import make_workload
 #: output) changes; every key embeds it, so old entries simply miss.
 #: v2: RunResult dicts grew a "trace" slot and MachineStats a "metrics"
 #: registry section.
-SCHEMA_VERSION = 2
+#: v3: SimConfig serializes the canonical ``design`` name instead of
+#: the powertm/clear booleans (from_dict migrates v2 payloads).
+SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".exp_cache"
 

@@ -61,7 +61,8 @@ class CoreExecutor:
     """One core's execution state."""
 
     __slots__ = (
-        "core", "machine", "config", "controller", "phase", "mode", "rng",
+        "core", "machine", "config", "design", "controller", "phase", "mode",
+        "rng",
         "invocation", "counting_retries", "attempt_index", "next_mode",
         "saved_discovery", "invocation_aborts", "first_abort_footprint",
         "fig1_recorded", "discovery", "rwsets", "gen", "gen_send_value",
@@ -78,6 +79,9 @@ class CoreExecutor:
         self.core = core
         self.machine = machine
         self.config = machine.config
+        # The machine's HtmDesign instance: every policy decision the
+        # config booleans used to gate dispatches through its hooks.
+        self.design = machine.design
         self.controller = controller
         self.trace = machine.trace
         # Opt-in per-invocation attempt accounting for the retry-bound
@@ -262,7 +266,7 @@ class CoreExecutor:
         self.discovery = None
         if self.controller is not None:
             self.discovery = self.controller.begin_invocation(self.invocation.region_id)
-        if self.config.powertm and self.counting_retries > 0:
+        if self.design.wants_power_token(counting_retries=self.counting_retries):
             machine.power.try_acquire(self.core)
         self._plan_fault_injection()
         self.gen = self.invocation.body_factory()
@@ -305,17 +309,10 @@ class CoreExecutor:
         return self._start_attempt()
 
     def _new_rwsets(self):
-        # Indexed: every tracked line registers in the machine-global
-        # sharer index so conflict checks probe only actual sharers.
-        config = self.config
-        return ReadWriteSets(
-            l1_sets=config.l1_size // (64 * config.l1_assoc),
-            l1_assoc=config.l1_assoc,
-            l2_sets=config.l2_size // (64 * config.l2_assoc),
-            l2_assoc=config.l2_assoc,
-            index=self.machine.sharer_index,
-            core=self.core,
-        )
+        # Design-provided conflict-detecting tracking; the default is
+        # cache-geometry ReadWriteSets with every tracked line
+        # registered in the machine-global sharer index.
+        return self.design.build_rwsets(executor=self)
 
     # ------------------------------------------------------------------
     # Cacheline-locked attempts (NS-CL / S-CL)
@@ -613,7 +610,12 @@ class CoreExecutor:
                 try:
                     rwsets.record_write(line)
                 except CapacityExceeded as exc:
-                    return self._abort_attempt(AbortReason.CAPACITY, line=exc.line)
+                    return self._abort_attempt(
+                        self.design.classify_capacity_abort(
+                            executor=self, exc=exc
+                        ),
+                        line=exc.line,
+                    )
                 rwsets.buffer_store(word_addr, op.store_value)
             if discovery.exhausted:
                 return self._conclude_exhausted_failed_discovery()
@@ -657,7 +659,10 @@ class CoreExecutor:
                 if discovery is not None:
                     entry = self.controller.ert.ensure(self.invocation.region_id)
                     entry.is_convertible = False
-                return self._abort_attempt(AbortReason.CAPACITY, line=exc.line)
+                return self._abort_attempt(
+                    self.design.classify_capacity_abort(executor=self, exc=exc),
+                    line=exc.line,
+                )
 
         # Discovery footprint and indirection tracking.
         failed = mode is ExecMode.FAILED_DISCOVERY
@@ -710,6 +715,9 @@ class CoreExecutor:
     def _commit(self, via_abort=False):
         machine = self.machine
         mode = self.mode
+        # Ask the design for the commit cost while the attempt state
+        # (mode, rwsets) is still live; _clear_attempt_state nulls both.
+        commit_cycles = self.design.commit_cycles(executor=self)
         if machine.oracle is not None:
             # Commit-order replay against the shadow memory; via_abort
             # marks fallback regions ended at an explicit XAbort (the
@@ -742,7 +750,7 @@ class CoreExecutor:
         self._clear_attempt_state()
         self.invocation = None
         self.phase = IDLE
-        return self._busy(self.config.tx_commit_cycles)
+        return self._busy(commit_cycles)
 
     # ------------------------------------------------------------------
     # Aborts
@@ -810,19 +818,19 @@ class CoreExecutor:
         if counts_toward_retry_limit(reason):
             self.counting_retries += 1
 
-        # Pick the next attempt's mode.
+        # Pick the next attempt's mode: the per-mode logic proposes
+        # (CLEAR's decision tree via decided_mode, else a plain
+        # speculative retry) and the design gets the final word — the
+        # default applies the paper's counting-retry fallback budget.
         if decided_mode is not None:
-            self.next_mode = decided_mode
-        elif mode is ExecMode.S_CL:
-            if reason in NON_MEMORY_REASONS:
-                self.controller.mark_non_discoverable(self.invocation.region_id)
-            self.next_mode = ExecMode.SPECULATIVE
-        elif mode is ExecMode.NS_CL:
-            self.next_mode = ExecMode.SPECULATIVE
+            proposed = decided_mode
         else:
-            self.next_mode = ExecMode.SPECULATIVE
-        if self.counting_retries >= self.config.retry_threshold:
-            self.next_mode = ExecMode.FALLBACK
+            if mode is ExecMode.S_CL and reason in NON_MEMORY_REASONS:
+                self.controller.mark_non_discoverable(self.invocation.region_id)
+            proposed = ExecMode.SPECULATIVE
+        self.next_mode = self.design.select_retry_mode(
+            executor=self, reason=reason, proposed=proposed
+        )
         if self.next_mode is not ExecMode.SPECULATIVE:
             # Power priority only matters for speculative retries; keep
             # holding the token through a CL retry and it just starves

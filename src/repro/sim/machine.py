@@ -20,10 +20,8 @@ from repro.common.errors import (
     SimulationError,
 )
 from repro.common.rng import DeterministicRng
-from repro.core.controller import ClearController
 from repro.core.modes import ExecMode
 from repro.htm.arbiter import ConflictArbiter
-from repro.htm.fallback import FallbackLock
 from repro.htm.powertm import PowerToken
 from repro.htm.sharer_index import SharerIndex
 from repro.memory.address import line_of_word
@@ -114,10 +112,16 @@ class Machine:
             mem_latency=config.mem_latency,
             directory_sets=config.directory_sets,
         )
+        # The HTM design backend: one instance per machine, shared by
+        # all executors; every policy choice the booleans used to gate
+        # dispatches through its hooks (see repro.htm.design).
+        self.design = config.design_class(config)
         fallback_word = self.allocator.alloc_lines(1)
-        self.fallback = FallbackLock(line_of_word(fallback_word))
+        self.fallback = self.design.build_fallback_lock(
+            line=line_of_word(fallback_word)
+        )
         self.power = PowerToken()
-        self.arbiter = ConflictArbiter()
+        self.arbiter = ConflictArbiter(design=self.design)
         # Reverse sharer index: line -> (readers, writers) over every
         # conflict-visible attempt, so conflict checks probe the actual
         # sharers instead of scanning all cores (see htm/sharer_index).
@@ -149,21 +153,7 @@ class Machine:
             )
         self.executors = []
         for core in range(config.num_cores):
-            controller = None
-            if config.clear:
-                controller = ClearController(
-                    core,
-                    dir_set_of=self.memsys.directory.set_of,
-                    can_coreside=self.memsys.l1[core].can_coreside,
-                    ert_entries=config.ert_entries,
-                    crt_entries=config.crt_entries,
-                    crt_assoc=config.crt_assoc,
-                    alt_entries=config.alt_entries,
-                    sq_capacity=config.sq_entries,
-                    lq_capacity=config.lq_entries,
-                    scl_lock_policy=config.scl_lock_policy,
-                    crt_enabled=config.crt_enabled,
-                )
+            controller = self.design.make_controller(core=core, machine=self)
             self.executors.append(CoreExecutor(core, self, controller))
         self._action_rngs = [
             self.rng.child(("actions", core)) for core in range(config.num_cores)
@@ -407,6 +397,9 @@ class Machine:
             if executor.finish_time is not None
         ]
         self.stats.makespan_cycles = max(finish_times) if finish_times else now
+        annotations = self.design.stat_annotations(machine=self)
+        if annotations:
+            self.stats.design_annotations = dict(annotations)
         if oracle is not None:
             oracle.finalize()
         return self.stats

@@ -32,6 +32,7 @@ A violation is a plain JSON-friendly dict (``kind`` / ``message`` /
 
 from repro.core.modes import ExecMode
 from repro.htm.abort import AbortReason, NON_MEMORY_REASONS
+from repro.htm.design import DESIGN_REGISTRY
 
 #: Abort reasons an NS-CL attempt may legitimately suffer. NS-CL holds
 #: every learned line locked, so memory conflicts cannot reach it; what
@@ -153,7 +154,9 @@ def check_retry_bound(ledger, config):
       after the first NS-CL attempt.
     - **fallback-threshold**: a non-fallback commit spent fewer counting
       retries than ``retry_threshold``; a fallback commit spent at least
-      that many (the budget is neither overshot nor undershot).
+      that many (the budget is neither overshot nor undershot). The
+      design's ``early_fallback_reasons`` exempt an invocation from the
+      undershoot half: such aborts legitimately skip the budget.
     """
     violations = []
     threshold = config.retry_threshold
@@ -191,7 +194,15 @@ def check_retry_bound(ledger, config):
                         speculative_after=speculative_after, **context,
                     ))
         if record.commit_mode is ExecMode.FALLBACK:
-            if record.commit_retries < threshold:
+            # Designs may legitimately route certain aborts straight to
+            # the fallback path before the budget is spent (e.g. lrw on
+            # a bounded-tracking overflow); such invocations are exempt
+            # from the undershoot check.
+            early = DESIGN_REGISTRY[config.design].early_fallback_reasons
+            early_fallback = early and any(
+                reason in early for _, reason in record.aborts
+            )
+            if record.commit_retries < threshold and not early_fallback:
                 violations.append(violation(
                     "fallback-threshold",
                     "fallback commit after only {} counting retries "

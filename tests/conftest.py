@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 
 
@@ -14,20 +15,23 @@ def small_config():
 @pytest.fixture
 def tiny_clear_config():
     """A 4-core CLEAR configuration."""
-    return SimConfig(num_cores=4, retry_threshold=4, clear=True)
+    return SimConfig(num_cores=4, retry_threshold=4, design="clear")
 
 
 @pytest.fixture
 def micro_config():
-    """Factory: a paper-letter configuration scaled down for fast tests.
+    """Factory: a design configuration scaled down for fast tests.
 
-    ``micro_config("C", cores=4, retry_threshold=2)`` — letter plus any
-    :class:`SimConfig` field overrides. Defaults to the 2-core baseline,
-    the smallest machine that still exercises contention.
+    ``micro_config("clear", cores=4, retry_threshold=2)`` — design name
+    (legacy B/P/C/W letters still resolve) plus any :class:`SimConfig`
+    field overrides. Defaults to the 2-core baseline, the smallest
+    machine that still exercises contention.
     """
 
-    def make(letter="B", cores=2, **overrides):
-        return SimConfig.for_letter(letter, num_cores=cores, **overrides)
+    def make(design="baseline", cores=2, **overrides):
+        return SimConfig.for_design(
+            design_name(design), num_cores=cores, **overrides
+        )
 
     return make
 
@@ -36,20 +40,20 @@ def micro_config():
 def micro_machine(micro_config):
     """Factory: a ready-to-run micro machine on a registry workload.
 
-    ``micro_machine("hashmap", "C", cores=4, seed=2)`` builds the scaled
-    config via ``micro_config`` and a named workload via the registry
-    (``ops_per_thread`` defaults to 3 — micro scale). A prebuilt
-    workload object passes through unchanged. Extra keyword arguments
-    split between :class:`SimConfig` field overrides and the machine
-    seams (``trace`` / ``scheduler`` / ``retry_ledger``).
+    ``micro_machine("hashmap", "clear", cores=4, seed=2)`` builds the
+    scaled config via ``micro_config`` and a named workload via the
+    registry (``ops_per_thread`` defaults to 3 — micro scale). A
+    prebuilt workload object passes through unchanged. Extra keyword
+    arguments split between :class:`SimConfig` field overrides and the
+    machine seams (``trace`` / ``scheduler`` / ``retry_ledger``).
     """
     from repro.sim.machine import Machine
     from repro.workloads import make_workload
 
-    def make(workload="mwobject", letter="B", *, cores=2, seed=1,
+    def make(workload="mwobject", design="baseline", *, cores=2, seed=1,
              ops_per_thread=3, trace=None, scheduler=None, retry_ledger=None,
              **overrides):
-        config = micro_config(letter, cores=cores, **overrides)
+        config = micro_config(design, cores=cores, **overrides)
         if isinstance(workload, str):
             workload = make_workload(workload, ops_per_thread=ops_per_thread)
         return Machine(config, workload, seed=seed, trace=trace,
@@ -58,5 +62,5 @@ def micro_machine(micro_config):
     return make
 
 
-def config_for(letter, cores=4, **overrides):
-    return SimConfig.for_letter(letter, num_cores=cores, **overrides)
+def config_for(design, cores=4, **overrides):
+    return SimConfig.for_design(design_name(design), num_cores=cores, **overrides)

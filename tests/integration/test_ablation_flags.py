@@ -78,8 +78,7 @@ class TestControllerPolicies:
 class TestFailedModeAblation:
     def run_contended(self, failed_mode):
         script = [counter_invoke() for _ in range(12)]
-        config = SimConfig.for_letter(
-            "C", num_cores=2, failed_mode_discovery=failed_mode
+        config = SimConfig.for_design("clear", num_cores=2, failed_mode_discovery=failed_mode
         )
         workload = ScriptedWorkload({0: list(script), 1: list(script)})
         machine = Machine(config, workload, seed=1)

@@ -21,7 +21,7 @@ from repro.sim.runner import RunResult
 def make_spec(trace=False):
     return RunSpec(
         workload="arrayswap",
-        config=SimConfig.for_letter("B", num_cores=4),
+        config=SimConfig.for_design("baseline", num_cores=4),
         seed=1, ops_per_thread=4, trace=trace,
     )
 
@@ -104,6 +104,74 @@ class TestLegacyResultDicts:
         assert "metrics" in data["stats"]
 
 
+class TestDesignFingerprintMigration:
+    """v2 configs spelled powertm/clear booleans; v3 spells ``design``.
+
+    A cached payload written with the boolean flags must deserialize to
+    the same normalized fingerprint as its modern spelling, so RunSpec
+    cache keys stay stable for the four legacy modes (no spurious
+    cold-cache re-runs beyond the deliberate schema bump).
+    """
+
+    LEGACY = [
+        (False, False, "baseline"),
+        (True, False, "powertm"),
+        (False, True, "clear"),
+        (True, True, "clear+powertm"),
+    ]
+
+    def v2_config_dict(self, powertm, clear, design):
+        """A config dict as a v2 build would have written it."""
+        data = SimConfig.for_design(design, num_cores=4).to_dict()
+        del data["design"]
+        # v2 had no per-design knobs either; their defaults must not
+        # perturb the fingerprint of a migrated payload.
+        for knob in ("lrw_read_lines", "lrw_write_lines",
+                     "bigatomics_lines", "bigatomics_commit_cycles"):
+            del data[knob]
+        data["powertm"] = powertm
+        data["clear"] = clear
+        return data
+
+    @pytest.mark.parametrize("powertm, clear, design", LEGACY)
+    def test_boolean_payload_fingerprint_matches(self, powertm, clear, design):
+        migrated = SimConfig.from_dict(self.v2_config_dict(
+            powertm, clear, design
+        ))
+        modern = SimConfig.for_design(design, num_cores=4)
+        assert migrated == modern
+        assert migrated.fingerprint() == modern.fingerprint()
+
+    @pytest.mark.parametrize("powertm, clear, design", LEGACY)
+    def test_cache_key_stable_across_spellings(self, powertm, clear, design):
+        migrated_spec = RunSpec(
+            workload="arrayswap",
+            config=SimConfig.from_dict(self.v2_config_dict(
+                powertm, clear, design
+            )),
+            seed=1, ops_per_thread=4,
+        )
+        modern_spec = RunSpec(
+            workload="arrayswap",
+            config=SimConfig.for_design(design, num_cores=4),
+            seed=1, ops_per_thread=4,
+        )
+        assert migrated_spec.cache_key() == modern_spec.cache_key()
+
+    def test_migrated_payload_hits_modern_cache(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=str(tmp_path))
+        engine.run_specs([make_spec()])
+        migrated = RunSpec(
+            workload="arrayswap",
+            config=SimConfig.from_dict(self.v2_config_dict(
+                False, False, "baseline"
+            )),
+            seed=1, ops_per_thread=4,
+        )
+        report = engine.run_specs_report([migrated])
+        assert report.cache_hits == 1
+
+
 def make_run_result_dict(trace=False):
     from repro.sim.runner import _simulate_one
     from repro.obs.trace import EventTrace
@@ -111,7 +179,7 @@ def make_run_result_dict(trace=False):
 
     result = _simulate_one(
         lambda: make_workload("arrayswap", ops_per_thread=4),
-        SimConfig.for_letter("B", num_cores=4), seed=1,
+        SimConfig.for_design("baseline", num_cores=4), seed=1,
         trace=EventTrace() if trace else None,
     )
     return result.to_dict()

@@ -11,6 +11,7 @@ import pytest
 pytestmark = pytest.mark.slow
 
 from repro.htm.abort import AbortCategory
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import ALL_NAMES, make_workload
@@ -27,7 +28,7 @@ CHAOS = dict(
 def chaos_machine(workload_name, letter="C", seed=7, **overrides):
     fields = dict(CHAOS)
     fields.update(overrides)
-    config = SimConfig.for_letter(letter, num_cores=4, **fields)
+    config = SimConfig.for_design(design_name(letter), num_cores=4, **fields)
     return Machine(
         config, make_workload(workload_name, ops_per_thread=4), seed=seed
     )
@@ -85,13 +86,13 @@ class TestChaosIsZeroCostWhenOff:
         # a config with every knob at zero produces the same run as one
         # predating the chaos layer entirely.
         baseline = Machine(
-            SimConfig.for_letter("W", num_cores=4),
+            SimConfig.for_design("clear+powertm", num_cores=4),
             make_workload("hashmap", ops_per_thread=6), seed=9,
         )
         assert baseline.faults is None
         stats = baseline.run().to_dict()
         again = Machine(
-            SimConfig.for_letter("W", num_cores=4),
+            SimConfig.for_design("clear+powertm", num_cores=4),
             make_workload("hashmap", ops_per_thread=6), seed=9,
         ).run().to_dict()
         assert stats == again

@@ -1,0 +1,73 @@
+"""Legacy spellings must be byte-identical to design names (satellite).
+
+Each of the paper's four configurations can be spelled three ways: the
+deprecated boolean flags, the deprecated B/P/C/W letter, and the
+canonical design name. All three must produce the same normalized
+config and — run for run — byte-identical result JSON through the new
+design dispatch. (The full micro-matrix figure goldens are pinned by
+``test_conflict_equivalence``; this file proves the *spellings* agree.)
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import api
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+LEGACY_COMBOS = [
+    ("B", dict(powertm=False, clear=False), "baseline"),
+    ("P", dict(powertm=True, clear=False), "powertm"),
+    ("C", dict(powertm=False, clear=True), "clear"),
+    ("W", dict(powertm=True, clear=True), "clear+powertm"),
+]
+
+
+def run_json(config, workload="mwobject", seed=1):
+    machine = Machine(
+        config, make_workload(workload, ops_per_thread=4), seed=seed
+    )
+    stats = machine.run()
+    return json.dumps(stats.to_dict(), sort_keys=True)
+
+
+class TestSpellingEquivalence:
+    @pytest.mark.parametrize("letter, flags, design", LEGACY_COMBOS)
+    def test_configs_normalize_identically(self, letter, flags, design):
+        canonical = SimConfig.for_design(design, num_cores=4)
+        with pytest.deprecated_call():
+            from_flags = SimConfig(num_cores=4, **flags)
+        with pytest.deprecated_call():
+            from_letter = SimConfig.for_letter(letter, num_cores=4)
+        assert from_flags == canonical
+        assert from_letter == canonical
+        assert from_flags.fingerprint() == canonical.fingerprint()
+        assert from_letter.fingerprint() == canonical.fingerprint()
+
+    @pytest.mark.parametrize("letter, flags, design", LEGACY_COMBOS)
+    def test_runs_byte_identical(self, letter, flags, design):
+        canonical = run_json(SimConfig.for_design(design, num_cores=4))
+        with pytest.deprecated_call():
+            config = SimConfig(num_cores=4, **flags)
+        assert run_json(config) == canonical
+
+    @pytest.mark.parametrize("letter, flags, design", LEGACY_COMBOS)
+    def test_api_letter_warns_and_matches_design_name(self, letter, flags,
+                                                      design):
+        named = api.simulate("mwobject", design, seeds=1, ops_per_thread=2)
+        with pytest.deprecated_call():
+            lettered = api.simulate("mwobject", letter, seeds=1,
+                                    ops_per_thread=2)
+        assert lettered.run.config == named.run.config
+        assert json.dumps(lettered.stats.to_dict(), sort_keys=True) \
+            == json.dumps(named.stats.to_dict(), sort_keys=True)
+
+    def test_design_name_accepted_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = api.simulate("mwobject", "clear", seeds=1,
+                                  ops_per_thread=3)
+        assert report.run.config.design == "clear"

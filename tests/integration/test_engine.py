@@ -12,7 +12,7 @@ from tests.integration.test_machine_basic import ScriptedWorkload, counter_invok
 
 class TestTruncation:
     def test_max_cycles_raises_typed_error_with_partial_stats(self):
-        config = SimConfig.for_letter("B", num_cores=4, max_cycles=500)
+        config = SimConfig.for_design("baseline", num_cores=4, max_cycles=500)
         workload = make_workload("labyrinth", ops_per_thread=10)
         machine = Machine(config, workload, seed=1)
         with pytest.raises(CycleLimitExceeded) as excinfo:
@@ -29,7 +29,7 @@ class TestTruncation:
             assert "phase" in entry and "counting_retries" in entry
 
     def test_normal_run_not_truncated(self):
-        config = SimConfig.for_letter("B", num_cores=2)
+        config = SimConfig.for_design("baseline", num_cores=2)
         workload = make_workload("mwobject", ops_per_thread=3)
         machine = Machine(config, workload, seed=1)
         stats = machine.run()
@@ -39,13 +39,13 @@ class TestTruncation:
 class TestFinishTimes:
     def test_makespan_covers_slowest_thread(self):
         workload = ScriptedWorkload({0: [Think(10)], 1: [Think(5000)]})
-        machine = Machine(SimConfig.for_letter("B", num_cores=2), workload, seed=1)
+        machine = Machine(SimConfig.for_design("baseline", num_cores=2), workload, seed=1)
         stats = machine.run()
         assert stats.makespan_cycles >= 5000
 
     def test_empty_scripts_finish_immediately(self):
         workload = ScriptedWorkload({})
-        machine = Machine(SimConfig.for_letter("B", num_cores=2), workload, seed=1)
+        machine = Machine(SimConfig.for_design("baseline", num_cores=2), workload, seed=1)
         stats = machine.run()
         assert stats.total_commits == 0
         assert not stats.truncated
@@ -55,7 +55,7 @@ class TestWaitAccounting:
     def test_contended_clear_run_accumulates_wait_cycles(self):
         script = [counter_invoke() for _ in range(15)]
         workload = ScriptedWorkload({0: list(script), 1: list(script)})
-        machine = Machine(SimConfig.for_letter("C", num_cores=2), workload, seed=1)
+        machine = Machine(SimConfig.for_design("clear", num_cores=2), workload, seed=1)
         stats = machine.run()
         waited = sum(core.wait_cycles for core in stats.cores)
         assert waited >= 0  # accounting never goes negative
@@ -65,7 +65,7 @@ class TestWaitAccounting:
     def test_lock_acquire_cycles_tracked_under_clear(self):
         script = [counter_invoke() for _ in range(15)]
         workload = ScriptedWorkload({0: list(script), 1: list(script)})
-        machine = Machine(SimConfig.for_letter("C", num_cores=2), workload, seed=1)
+        machine = Machine(SimConfig.for_design("clear", num_cores=2), workload, seed=1)
         stats = machine.run()
         locked = sum(core.lock_acquire_cycles for core in stats.cores)
         assert locked > 0

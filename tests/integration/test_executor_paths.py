@@ -7,6 +7,7 @@ explicit aborts, CRT population, and zombie-transaction arbitration.
 
 from repro.core.modes import ExecMode
 from repro.htm.abort import AbortReason
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import AbortOp, Compute, Invoke, Load, Store
@@ -14,7 +15,7 @@ from tests.integration.test_machine_basic import ScriptedWorkload, counter_invok
 
 
 def run_scripted(scripts, letter="B", cores=2, shared_lines=8, seed=1, **overrides):
-    config = SimConfig.for_letter(letter, num_cores=cores, **overrides)
+    config = SimConfig.for_design(design_name(letter), num_cores=cores, **overrides)
     workload = ScriptedWorkload(scripts, shared_lines=shared_lines)
     machine = Machine(config, workload, seed=seed)
     stats = machine.run()

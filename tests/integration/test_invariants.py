@@ -7,6 +7,7 @@ machine-wide resources released.
 
 import pytest
 
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import ALL_NAMES, make_workload
@@ -16,7 +17,7 @@ CONFIG_LETTERS = ("B", "P", "C", "W")
 
 def run(name, letter, seed=3, cores=4, ops=6):
     workload = make_workload(name, ops_per_thread=ops)
-    machine = Machine(SimConfig.for_letter(letter, num_cores=cores), workload, seed)
+    machine = Machine(SimConfig.for_design(design_name(letter), num_cores=cores), workload, seed)
     stats = machine.run()
     return machine, workload, stats
 

@@ -6,6 +6,7 @@ atomic regions run where.
 
 from repro.common.constants import WORDS_PER_LINE
 from repro.core.modes import ExecMode
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import Compute, Invoke, Load, Store, Think
@@ -64,7 +65,7 @@ def counter_invoke(region="r"):
 
 
 def run_scripted(scripts, letter="B", cores=2, **overrides):
-    config = SimConfig.for_letter(letter, num_cores=cores, **overrides)
+    config = SimConfig.for_design(design_name(letter), num_cores=cores, **overrides)
     workload = ScriptedWorkload(scripts)
     machine = Machine(config, workload, seed=1)
     stats = machine.run()

@@ -6,6 +6,7 @@ from repro.common.errors import SimulationError
 from repro.core.modes import ExecMode
 from repro.htm.abort import AbortReason
 from repro.htm.rwset import ReadWriteSets
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
@@ -13,7 +14,7 @@ from repro.workloads import make_workload
 
 def fresh_machine(letter="B", cores=3):
     workload = make_workload("mwobject", ops_per_thread=2)
-    return Machine(SimConfig.for_letter(letter, num_cores=cores), workload, seed=1)
+    return Machine(SimConfig.for_design(design_name(letter), num_cores=cores), workload, seed=1)
 
 
 def arm_speculative(executor, mode=ExecMode.SPECULATIVE, lines=(5,)):

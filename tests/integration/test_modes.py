@@ -5,6 +5,7 @@ checks the machine both picks the expected mode and stays correct.
 """
 
 from repro.core.modes import ExecMode
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import Branch, Invoke, Load, Store
@@ -12,7 +13,7 @@ from tests.integration.test_machine_basic import ScriptedWorkload, counter_invok
 
 
 def run_scripted(scripts, letter="C", cores=2, shared_lines=8, **overrides):
-    config = SimConfig.for_letter(letter, num_cores=cores, **overrides)
+    config = SimConfig.for_design(design_name(letter), num_cores=cores, **overrides)
     workload = ScriptedWorkload(scripts, shared_lines=shared_lines)
     machine = Machine(config, workload, seed=1)
     stats = machine.run()

@@ -9,13 +9,14 @@ locks, and leaked fallback/power holdings.
 import pytest
 
 from repro.common.errors import OracleViolation
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
 
 
 def oracle_config(letter="C", **overrides):
-    return SimConfig.for_letter(letter, num_cores=4, oracle=True, **overrides)
+    return SimConfig.for_design(design_name(letter), num_cores=4, oracle=True, **overrides)
 
 
 class TestOraclePasses:
@@ -54,7 +55,7 @@ class TestOraclePasses:
 
     def test_oracle_run_matches_plain_run(self):
         plain = Machine(
-            SimConfig.for_letter("C", num_cores=4),
+            SimConfig.for_design("clear", num_cores=4),
             make_workload("hashmap", ops_per_thread=6), seed=5,
         ).run()
         watched = Machine(

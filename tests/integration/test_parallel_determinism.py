@@ -10,6 +10,7 @@ import json
 import pytest
 
 from repro.analysis.experiments import ExperimentSettings, run_config_matrix
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.engine import ExperimentEngine, RunSpec
 
@@ -19,7 +20,7 @@ def spec_grid():
     return [
         RunSpec(
             workload=name,
-            config=SimConfig.for_letter(letter, num_cores=2),
+            config=SimConfig.for_design(design_name(letter), num_cores=2),
             seed=seed,
             ops_per_thread=4,
         )

@@ -13,7 +13,7 @@ from tests.integration.test_machine_basic import ScriptedWorkload, counter_invok
 
 
 def run_scripted(scripts, cores=2, shared_lines=80, **overrides):
-    config = SimConfig.for_letter("C", num_cores=cores, speculation="sle",
+    config = SimConfig.for_design("clear", num_cores=cores, speculation="sle",
                                   **overrides)
     workload = ScriptedWorkload(scripts, shared_lines=shared_lines)
     machine = Machine(config, workload, seed=1)
@@ -97,7 +97,7 @@ class TestWindowLimits:
     def test_htm_mode_commits_same_region_speculatively(self):
         # The same 80-store region fits out-of-core speculation (the
         # rwset capacity is the private cache, far bigger than the SQ).
-        config = SimConfig.for_letter("C", num_cores=1, speculation="htm")
+        config = SimConfig.for_design("clear", num_cores=1, speculation="htm")
         workload = ScriptedWorkload({0: [wide_region_invoke(80)]},
                                     shared_lines=80)
         machine = Machine(config, workload, seed=1)
@@ -108,7 +108,7 @@ class TestWindowLimits:
 class TestSleWholeWorkloads:
     @pytest.mark.parametrize("name", ("mwobject", "bitcoin", "bst"))
     def test_workloads_complete_under_sle(self, name):
-        config = SimConfig.for_letter("W", num_cores=4, speculation="sle")
+        config = SimConfig.for_design("clear+powertm", num_cores=4, speculation="sle")
         workload = make_workload(name, ops_per_thread=8)
         machine = Machine(config, workload, seed=2)
         stats = machine.run()

@@ -15,6 +15,7 @@ import pytest
 
 from repro import api
 from repro.obs.chrome import chrome_trace
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.engine import ExperimentEngine
 
@@ -32,7 +33,7 @@ def simulate_golden_cell(**kwargs):
     golden = load_golden()
     return api.simulate(
         golden["workload"],
-        SimConfig.for_letter(golden["config"],
+        SimConfig.for_design(design_name(golden["config"]),
                              num_cores=golden["num_cores"]),
         seeds=golden["seed"], ops_per_thread=golden["ops_per_thread"],
         trace=True, **kwargs,
@@ -69,7 +70,7 @@ class TestGoldenTrace:
         traced = simulate_golden_cell()
         plain = api.simulate(
             golden["workload"],
-            SimConfig.for_letter(golden["config"],
+            SimConfig.for_design(design_name(golden["config"]),
                                  num_cores=golden["num_cores"]),
             seeds=golden["seed"], ops_per_thread=golden["ops_per_thread"],
         )

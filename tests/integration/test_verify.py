@@ -62,7 +62,7 @@ class TestSchedulerSeamIdentity:
 class TestFuzzingExploration:
     @pytest.mark.parametrize("explorer", ("random", "pct"))
     def test_micro_fuzzing_passes_all_oracles(self, explorer):
-        report = verify("mwobject", "B", seed=1, explorer=explorer,
+        report = verify("mwobject", "baseline", seed=1, explorer=explorer,
                         schedules=10, **MICRO)
         assert report.ok, report.violations
         assert report.schedules_explored == 11  # default baseline + 10
@@ -70,24 +70,24 @@ class TestFuzzingExploration:
         assert report.distinct_states == 1
 
     def test_structural_workload_skips_state_equality(self):
-        report = verify("queue", "B", seed=1, explorer="random",
+        report = verify("queue", "baseline", seed=1, explorer="random",
                         schedules=8, **MICRO)
         assert report.ok, report.violations
         assert not report.state_checked
 
     def test_factory_workloads_explore_inline(self):
         factory = lambda: make_workload("mwobject", ops_per_thread=3)  # noqa: E731
-        report = verify(factory, "B", cores=2, schedules=5)
+        report = verify(factory, "baseline", cores=2, schedules=5)
         assert report.ok, report.violations
         assert report.workload_name is None
 
     def test_engine_fan_out_matches_inline(self):
         from repro.sim.engine import ExperimentEngine
 
-        inline = verify("mwobject", "B", seed=1, explorer="random",
+        inline = verify("mwobject", "baseline", seed=1, explorer="random",
                         schedules=12, **MICRO)
         engine = ExperimentEngine(jobs=2, cache_dir=None)
-        fanned = verify("mwobject", "B", seed=1, explorer="random",
+        fanned = verify("mwobject", "baseline", seed=1, explorer="random",
                         schedules=12, engine=engine, **MICRO)
         assert fanned.ok and inline.ok
         assert [o.decisions for o in fanned.outcomes] == \
@@ -96,7 +96,7 @@ class TestFuzzingExploration:
             [o.state_sha256 for o in inline.outcomes]
 
     def test_api_facade_delegates(self):
-        report = api.verify("mwobject", "B", schedules=3, **MICRO)
+        report = api.verify("mwobject", "baseline", schedules=3, **MICRO)
         assert report.ok
 
 
@@ -104,7 +104,7 @@ class TestExhaustiveExploration:
     """The CI acceptance gate: full micro schedule spaces, all oracles."""
 
     def test_mwobject_2core_tree_is_verified_exhaustively(self):
-        report = verify("mwobject", "B", cores=2, ops_per_thread=6, seed=1,
+        report = verify("mwobject", "baseline", cores=2, ops_per_thread=6, seed=1,
                         explorer="exhaustive", max_schedules=500)
         assert report.complete, "schedule tree was truncated"
         assert report.ok, report.violations
@@ -114,13 +114,13 @@ class TestExhaustiveExploration:
         assert report.distinct_states == 1
 
     def test_hashmap_2core_tree_is_verified_exhaustively(self):
-        report = verify("hashmap", "B", cores=2, ops_per_thread=4, seed=1,
+        report = verify("hashmap", "baseline", cores=2, ops_per_thread=4, seed=1,
                         explorer="exhaustive", max_schedules=500)
         assert report.complete and report.ok
         assert report.schedules_explored > 10
 
     def test_truncation_is_reported(self):
-        report = verify("mwobject", "B", cores=4, ops_per_thread=4, seed=1,
+        report = verify("mwobject", "baseline", cores=4, ops_per_thread=4, seed=1,
                         explorer="exhaustive", max_schedules=5)
         assert not report.complete
         assert report.schedules_explored == 5
@@ -150,7 +150,7 @@ def plant_arbiter_bug(machine):
 
 
 class TestPlantedArbiterBug:
-    PLANT_ARGS = dict(workload="mwobject", config="B", cores=2,
+    PLANT_ARGS = dict(workload="mwobject", config="baseline", cores=2,
                       ops_per_thread=6, seed=1)
 
     def test_default_schedule_misses_the_bug(self):

@@ -39,8 +39,7 @@ def spinning_invoke():
 class TestLivelock:
     def test_never_committing_run_raises_livelock(self):
         workload = ScriptedWorkload({0: [spinning_invoke()]})
-        config = SimConfig.for_letter(
-            "B", num_cores=2, watchdog_cycles=5_000, max_cycles=10_000_000
+        config = SimConfig.for_design("baseline", num_cores=2, watchdog_cycles=5_000, max_cycles=10_000_000
         )
         machine = Machine(config, workload, seed=1)
         with pytest.raises(LivelockError) as excinfo:
@@ -57,13 +56,13 @@ class TestLivelock:
         # The same spinner without a watchdog runs into the cycle limit
         # instead: the two stall classes stay distinguishable.
         workload = ScriptedWorkload({0: [spinning_invoke()]})
-        config = SimConfig.for_letter("B", num_cores=2, max_cycles=20_000)
+        config = SimConfig.for_design("baseline", num_cores=2, max_cycles=20_000)
         machine = Machine(config, workload, seed=1)
         with pytest.raises(CycleLimitExceeded):
             machine.run()
 
     def test_watchdog_tolerates_committing_runs(self):
-        config = SimConfig.for_letter("C", num_cores=4, watchdog_cycles=50_000)
+        config = SimConfig.for_design("clear", num_cores=4, watchdog_cycles=50_000)
         machine = Machine(
             config, make_workload("hashmap", ops_per_thread=8), seed=1
         )
@@ -79,7 +78,7 @@ class TestDeadlock:
             executor_module.CoreExecutor, "step",
             lambda self, now: (executor_module.STEP_BLOCK, "test"),
         )
-        config = SimConfig.for_letter("B", num_cores=3)
+        config = SimConfig.for_design("baseline", num_cores=3)
         machine = Machine(
             config, make_workload("mwobject", ops_per_thread=2), seed=1
         )
@@ -100,7 +99,7 @@ class TestDeadlock:
             executor_module.CoreExecutor, "step",
             lambda self, now: (executor_module.STEP_BLOCK, "test"),
         )
-        config = SimConfig.for_letter("C", num_cores=2)
+        config = SimConfig.for_design("clear", num_cores=2)
         machine = Machine(
             config, make_workload("hashmap", ops_per_thread=2), seed=1
         )
@@ -111,7 +110,7 @@ class TestDeadlock:
 
 class TestCycleLimit:
     def test_diagnostic_names_unfinished_cores(self):
-        config = SimConfig.for_letter("B", num_cores=4, max_cycles=500)
+        config = SimConfig.for_design("baseline", num_cores=4, max_cycles=500)
         machine = Machine(
             config, make_workload("labyrinth", ops_per_thread=10), seed=1
         )

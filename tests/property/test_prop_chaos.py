@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.workloads import make_workload
@@ -18,8 +19,7 @@ pytestmark = pytest.mark.slow
 
 
 def build_machine(name, letter, seed, spurious, capacity, jitter):
-    config = SimConfig.for_letter(
-        letter,
+    config = SimConfig.for_design(design_name(letter),
         num_cores=4,
         oracle=True,
         fault_spurious_rate=spurious,

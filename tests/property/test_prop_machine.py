@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 from repro.common.constants import WORDS_PER_LINE
 from repro.common.rng import DeterministicRng
 from repro.memory.shared import Allocator, SharedMemory
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import Compute, Invoke, Load, Store
@@ -65,8 +66,7 @@ class RandomCounterWorkload(Workload):
 )
 @settings(max_examples=25, deadline=None)
 def test_random_contention_is_serializable(letter, seed, num_counters, retry_threshold):
-    config = SimConfig.for_letter(
-        letter, num_cores=4, retry_threshold=retry_threshold
+    config = SimConfig.for_design(design_name(letter), num_cores=4, retry_threshold=retry_threshold
     )
     workload = RandomCounterWorkload(num_counters, ops_per_thread=5)
     machine = Machine(config, workload, seed=seed)

@@ -10,6 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.constants import WORDS_PER_LINE
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.machine import Machine
 from repro.sim.program import Branch, Load, Store
@@ -85,8 +86,7 @@ class TransferWorkload(Workload):
 @settings(max_examples=25, deadline=None)
 def test_transfers_conserve_total(letter, seed, num_accounts, audit_share,
                                   retry_threshold):
-    config = SimConfig.for_letter(
-        letter, num_cores=4, retry_threshold=retry_threshold
+    config = SimConfig.for_design(design_name(letter), num_cores=4, retry_threshold=retry_threshold
     )
     workload = TransferWorkload(num_accounts, audit_share)
     machine = Machine(config, workload, seed=seed)

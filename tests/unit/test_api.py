@@ -25,7 +25,7 @@ OPS = 4
 
 @pytest.fixture
 def config():
-    return SimConfig.for_letter("B", num_cores=CORES)
+    return SimConfig.for_design("baseline", num_cores=CORES)
 
 
 def factory():
@@ -34,7 +34,7 @@ def factory():
 
 class TestInputResolution:
     def test_config_letter(self):
-        report = simulate("arrayswap", "B", seeds=1, ops_per_thread=OPS)
+        report = simulate("arrayswap", "baseline", seeds=1, ops_per_thread=OPS)
         assert report.config.config_letter == "B"
 
     def test_config_none_defaults(self):
@@ -42,7 +42,7 @@ class TestInputResolution:
         assert isinstance(report.config, SimConfig)
 
     def test_bad_letter_rejected(self):
-        with pytest.raises(ConfigurationError, match="config letter"):
+        with pytest.raises(ConfigurationError, match="registered design"):
             simulate("arrayswap", "Z", seeds=1)
 
     def test_bad_config_type_rejected(self):
@@ -51,7 +51,7 @@ class TestInputResolution:
 
     def test_bad_workload_type_rejected(self):
         with pytest.raises(TypeError, match="workload must be"):
-            simulate(123, "B")
+            simulate(123, "baseline")
 
     def test_seeds_int_or_iterable(self, config):
         single = simulate(factory, config, seeds=7)
@@ -68,7 +68,7 @@ class TestInputResolution:
             simulate(factory, config, seeds=1, ops_per_thread=8)
 
     def test_oracle_flag_applies(self):
-        report = simulate("arrayswap", "B", seeds=1, ops_per_thread=OPS,
+        report = simulate("arrayswap", "baseline", seeds=1, ops_per_thread=OPS,
                           oracle=True)
         assert report.config.oracle
 

@@ -1,8 +1,11 @@
-"""Unit tests for SimConfig (Table 2 defaults and B/P/C/W mapping)."""
+"""Unit tests for SimConfig (Table 2 defaults and design selection)."""
+
+import warnings
 
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.htm.design import DESIGN_REGISTRY, LEGACY_LETTER_DESIGNS
 from repro.sim.config import HtmPolicy, SimConfig
 
 
@@ -35,24 +38,96 @@ class TestTable2Defaults:
         assert config.crt_assoc == 8
 
 
-class TestConfigLetters:
+class TestDesignSelection:
     @pytest.mark.parametrize(
-        "letter, powertm, clear",
-        [("B", False, False), ("P", True, False), ("C", False, True), ("W", True, True)],
+        "design, letter, powertm, clear",
+        [
+            ("baseline", "B", False, False),
+            ("powertm", "P", True, False),
+            ("clear", "C", False, True),
+            ("clear+powertm", "W", True, True),
+        ],
     )
-    def test_letter_round_trip(self, letter, powertm, clear):
-        config = SimConfig.for_letter(letter)
+    def test_design_round_trip(self, design, letter, powertm, clear):
+        config = SimConfig.for_design(design)
+        assert config.design == design
         assert config.powertm == powertm
         assert config.clear == clear
         assert config.config_letter == letter
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(design="nonesuch")
+        with pytest.raises(ConfigurationError):
+            SimConfig.for_design("nonesuch")
+
+    def test_new_designs_registered(self):
+        assert "lrw" in DESIGN_REGISTRY
+        assert "bigatomics" in DESIGN_REGISTRY
+        assert SimConfig.for_design("lrw").design == "lrw"
+
+    def test_new_design_letter_falls_back_to_name(self):
+        assert SimConfig.for_design("lrw").config_letter == "lrw"
+        assert SimConfig.for_design("bigatomics").config_letter == "bigatomics"
+
+    def test_htm_policy(self):
+        assert SimConfig.for_design("powertm").htm_policy is HtmPolicy.POWER_TM
+        assert SimConfig().htm_policy is HtmPolicy.REQUESTER_WINS
+
+    def test_design_knob_validation(self):
+        for knob in ("lrw_read_lines", "lrw_write_lines",
+                     "bigatomics_lines", "bigatomics_commit_cycles"):
+            with pytest.raises(ConfigurationError):
+                SimConfig(**{knob: 0})
+
+
+class TestLegacyLetterShim:
+    @pytest.mark.parametrize("letter", sorted(LEGACY_LETTER_DESIGNS))
+    def test_for_letter_warns_and_maps(self, letter):
+        with pytest.deprecated_call():
+            config = SimConfig.for_letter(letter)
+        assert config.design == LEGACY_LETTER_DESIGNS[letter]
+        assert config.config_letter == letter
+        assert config == SimConfig.for_design(LEGACY_LETTER_DESIGNS[letter])
 
     def test_unknown_letter_rejected(self):
         with pytest.raises(ConfigurationError):
             SimConfig.for_letter("X")
 
-    def test_htm_policy(self):
-        assert SimConfig(powertm=True).htm_policy is HtmPolicy.POWER_TM
-        assert SimConfig().htm_policy is HtmPolicy.REQUESTER_WINS
+
+class TestLegacyBooleanShim:
+    @pytest.mark.parametrize(
+        "flags, design",
+        [
+            (dict(powertm=False, clear=False), "baseline"),
+            (dict(powertm=True), "powertm"),
+            (dict(clear=True), "clear"),
+            (dict(powertm=True, clear=True), "clear+powertm"),
+        ],
+    )
+    def test_constructor_flags_warn_and_normalize(self, flags, design):
+        with pytest.deprecated_call():
+            config = SimConfig(num_cores=4, **flags)
+        assert config.design == design
+        assert config == SimConfig.for_design(design, num_cores=4)
+        assert config.fingerprint() == SimConfig.for_design(
+            design, num_cores=4
+        ).fingerprint()
+
+    def test_conflicting_design_and_flags_rejected(self):
+        with pytest.raises(ConfigurationError), pytest.deprecated_call():
+            SimConfig(design="baseline", clear=True)
+
+    def test_consistent_design_and_flags_accepted(self):
+        with pytest.deprecated_call():
+            config = SimConfig(design="clear", clear=True)
+        assert config.design == "clear"
+
+    def test_reading_properties_does_not_warn(self):
+        config = SimConfig.for_design("clear+powertm")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.powertm and config.clear
 
 
 class TestValidation:
@@ -75,11 +150,70 @@ class TestReplaced:
         assert config.retry_threshold == 7
 
     def test_other_fields_preserved(self):
-        config = SimConfig(num_cores=8, clear=True).replaced(retry_threshold=7)
+        config = SimConfig.for_design("clear", num_cores=8).replaced(
+            retry_threshold=7
+        )
         assert config.num_cores == 8
         assert config.clear
+
+    def test_replaced_keeps_design(self):
+        config = SimConfig.for_design("lrw").replaced(num_cores=2)
+        assert config.design == "lrw"
+
+    def test_legacy_flag_override_warns_and_layers(self):
+        base = SimConfig.for_design("powertm")
+        with pytest.deprecated_call():
+            config = base.replaced(clear=True)
+        assert config.design == "clear+powertm"
+        with pytest.deprecated_call():
+            config = base.replaced(powertm=False)
+        assert config.design == "baseline"
 
     def test_original_unchanged(self):
         original = SimConfig()
         original.replaced(num_cores=2)
         assert original.num_cores == 32
+
+
+class TestDictMigration:
+    def test_round_trip_serializes_design(self):
+        config = SimConfig.for_design("lrw", num_cores=4)
+        data = config.to_dict()
+        assert data["design"] == "lrw"
+        assert "powertm" not in data and "clear" not in data
+        assert SimConfig.from_dict(data) == config
+
+    @pytest.mark.parametrize(
+        "powertm, clear, design",
+        [
+            (False, False, "baseline"),
+            (True, False, "powertm"),
+            (False, True, "clear"),
+            (True, True, "clear+powertm"),
+        ],
+    )
+    def test_legacy_boolean_payloads_migrate_silently(self, powertm, clear,
+                                                      design):
+        data = SimConfig.for_design(design, num_cores=4).to_dict()
+        del data["design"]
+        data["powertm"] = powertm
+        data["clear"] = clear
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            migrated = SimConfig.from_dict(data)
+        assert migrated.design == design
+        assert migrated.fingerprint() == SimConfig.for_design(
+            design, num_cores=4
+        ).fingerprint()
+
+    def test_conflicting_legacy_keys_rejected(self):
+        data = SimConfig.for_design("baseline").to_dict()
+        data["clear"] = True
+        with pytest.raises(ConfigurationError):
+            SimConfig.from_dict(data)
+
+    def test_unknown_keys_rejected(self):
+        data = SimConfig().to_dict()
+        data["mystery"] = 1
+        with pytest.raises(ConfigurationError):
+            SimConfig.from_dict(data)

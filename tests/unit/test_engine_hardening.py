@@ -43,7 +43,7 @@ CRASH_FLAG_ENV = "REPRO_TEST_CRASH_FLAG"
 def tiny_spec(**overrides):
     fields = dict(
         workload="mwobject",
-        config=SimConfig.for_letter("B", num_cores=2),
+        config=SimConfig.for_design("baseline", num_cores=2),
         seed=1,
         ops_per_thread=3,
     )

@@ -18,7 +18,7 @@ from repro.sim.engine import (
 def tiny_spec(**overrides):
     fields = dict(
         workload="mwobject",
-        config=SimConfig.for_letter("B", num_cores=2),
+        config=SimConfig.for_design("baseline", num_cores=2),
         seed=1,
         ops_per_thread=3,
     )
@@ -44,8 +44,8 @@ class TestRunSpec:
             dict(seed=2),
             dict(ops_per_thread=4),
             dict(ops_per_thread=None),
-            dict(config=SimConfig.for_letter("C", num_cores=2)),
-            dict(config=SimConfig.for_letter("B", num_cores=4)),
+            dict(config=SimConfig.for_design("clear", num_cores=2)),
+            dict(config=SimConfig.for_design("baseline", num_cores=4)),
         ],
     )
     def test_cache_key_covers_every_input(self, overrides):

@@ -24,40 +24,37 @@ def chaos_config(**overrides):
         fault_wakeup_delay_cycles=9,
     )
     fields.update(overrides)
-    return SimConfig.for_letter("B", num_cores=4, **fields)
+    return SimConfig.for_design("baseline", num_cores=4, **fields)
 
 
 class TestConfigKnobs:
     def test_defaults_disable_chaos(self):
-        config = SimConfig.for_letter("B", num_cores=4)
+        config = SimConfig.for_design("baseline", num_cores=4)
         assert not config.chaos_enabled
         assert FaultPlan.from_config(config, DeterministicRng(1), 4) is None
 
     def test_any_knob_enables_chaos(self):
         for field in ("fault_spurious_rate", "fault_capacity_rate"):
-            assert SimConfig.for_letter(
-                "B", num_cores=4, **{field: 0.1}
+            assert SimConfig.for_design("baseline", num_cores=4, **{field: 0.1}
             ).chaos_enabled
         for field in ("fault_jitter_cycles", "fault_wakeup_delay_cycles"):
-            assert SimConfig.for_letter(
-                "B", num_cores=4, **{field: 3}
+            assert SimConfig.for_design("baseline", num_cores=4, **{field: 3}
             ).chaos_enabled
 
     def test_rates_validated(self):
         with pytest.raises(ConfigurationError):
-            SimConfig.for_letter("B", num_cores=4, fault_spurious_rate=-0.1)
+            SimConfig.for_design("baseline", num_cores=4, fault_spurious_rate=-0.1)
         with pytest.raises(ConfigurationError):
-            SimConfig.for_letter("B", num_cores=4, fault_spurious_rate=1.5)
+            SimConfig.for_design("baseline", num_cores=4, fault_spurious_rate=1.5)
         with pytest.raises(ConfigurationError):
-            SimConfig.for_letter(
-                "B", num_cores=4,
+            SimConfig.for_design("baseline", num_cores=4,
                 fault_spurious_rate=0.7, fault_capacity_rate=0.7,
             )
         with pytest.raises(ConfigurationError):
-            SimConfig.for_letter("B", num_cores=4, fault_jitter_cycles=-1)
+            SimConfig.for_design("baseline", num_cores=4, fault_jitter_cycles=-1)
 
     def test_chaos_knobs_change_fingerprint(self):
-        base = SimConfig.for_letter("B", num_cores=4)
+        base = SimConfig.for_design("baseline", num_cores=4)
         assert chaos_config().fingerprint() != base.fingerprint()
 
     def test_config_roundtrip_keeps_chaos_fields(self):
@@ -67,7 +64,7 @@ class TestConfigKnobs:
     def test_old_config_dicts_default_to_no_chaos(self):
         # Cached results written before the chaos fields existed must
         # still deserialize (schema back-compat).
-        data = SimConfig.for_letter("B", num_cores=4).to_dict()
+        data = SimConfig.for_design("baseline", num_cores=4).to_dict()
         for field in (
             "fault_spurious_rate", "fault_capacity_rate",
             "fault_jitter_cycles", "fault_wakeup_delay_cycles",

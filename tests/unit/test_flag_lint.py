@@ -1,0 +1,64 @@
+"""Source lint: no direct reads of the deprecated mode booleans.
+
+``config.powertm`` / ``config.clear`` survive only as read-only
+compatibility properties on :class:`SimConfig`; every behavioral
+decision must go through the design protocol (``config.design_class``
+or a hook on the machine's design instance). A fresh ``config.powertm``
+read silently bypasses the registry — e.g. a custom registered design
+with ``powertm = True`` would be treated as requester-wins by any code
+still pattern-matching on the boolean. This grep keeps the door shut.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Attribute reads of the deprecated booleans on any *config*-ish
+#: receiver (``config.powertm``, ``self.config.clear``, ...).
+FLAG_READ = re.compile(r"\bconfig\s*\.\s*(powertm|clear)\b")
+
+#: Files allowed to touch the booleans: the compatibility layer itself.
+EXEMPT = {"sim/config.py"}
+
+
+def flag_reads():
+    hits = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if relative in EXEMPT:
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if FLAG_READ.search(code):
+                hits.append("src/repro/{}:{}: {}".format(
+                    relative, number, line.strip()
+                ))
+    return hits
+
+
+def test_no_direct_mode_boolean_reads():
+    hits = flag_reads()
+    assert not hits, (
+        "direct config.powertm/config.clear reads found (dispatch "
+        "through the design protocol instead):\n" + "\n".join(hits)
+    )
+
+
+def test_lint_actually_detects(tmp_path, monkeypatch):
+    """The lint must not be vacuous: plant a read, see it flagged."""
+    planted = tmp_path / "repro"
+    (planted / "sim").mkdir(parents=True)
+    (planted / "sim" / "config.py").write_text("powertm = config.powertm\n")
+    (planted / "victim.py").write_text(
+        "# config.clear in a comment is fine\n"
+        "if config.powertm:\n"
+        "    pass\n"
+    )
+    import sys
+
+    lint = sys.modules[__name__]
+    monkeypatch.setattr(lint, "SRC", planted)
+    hits = flag_reads()
+    assert len(hits) == 1
+    assert "victim.py:2" in hits[0]

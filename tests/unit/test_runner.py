@@ -59,7 +59,7 @@ def quick_factory(name="mwobject", ops=6):
 
 
 def quick_config(**overrides):
-    return SimConfig.for_letter("B", num_cores=4, **overrides)
+    return SimConfig.for_design("baseline", num_cores=4, **overrides)
 
 
 class TestRunWorkload:

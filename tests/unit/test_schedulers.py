@@ -296,7 +296,7 @@ class TestRetryBoundOracle:
 class TestScheduleArtifact:
     def _artifact(self):
         return ScheduleArtifact(
-            "mwobject", SimConfig.for_letter("B", num_cores=2), 1, [0, 1, 0, 2],
+            "mwobject", SimConfig.for_design("baseline", num_cores=2), 1, [0, 1, 0, 2],
             ops_per_thread=4,
             violations=[{"kind": "serializability", "message": "m",
                          "details": {"x": 1}}],

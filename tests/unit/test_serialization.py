@@ -7,6 +7,7 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.energy.model import EnergyBreakdown
+from repro.htm.design import design_name
 from repro.sim.config import SimConfig
 from repro.sim.runner import AggregateResult, RunResult, run_seeds, run_workload
 from repro.sim.stats import MachineStats
@@ -14,7 +15,7 @@ from repro.workloads import make_workload
 
 
 def sample_result(letter="C", seed=1):
-    config = SimConfig.for_letter(letter, num_cores=4)
+    config = SimConfig.for_design(design_name(letter), num_cores=4)
     return run_workload(
         lambda: make_workload("mwobject", ops_per_thread=6), config, seed=seed
     )
@@ -29,7 +30,7 @@ class TestSimConfigRoundTrip:
         }
 
     def test_round_trip_identity(self):
-        config = SimConfig.for_letter("W", num_cores=8, retry_threshold=3)
+        config = SimConfig.for_design("clear+powertm", num_cores=8, retry_threshold=3)
         assert SimConfig.from_dict(config.to_dict()) == config
 
     def test_round_trip_through_json(self):
@@ -145,7 +146,7 @@ class TestMachineStatsRoundTrip:
 
 class TestAggregateRoundTrip:
     def test_json_round_trip(self):
-        config = SimConfig.for_letter("B", num_cores=4)
+        config = SimConfig.for_design("baseline", num_cores=4)
         aggregate = run_seeds(
             lambda: make_workload("mwobject", ops_per_thread=4), config,
             seeds=(1, 2), trim=0,
