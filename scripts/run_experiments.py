@@ -19,6 +19,16 @@ whatever the job count, because every cell is independently seeded.
 one representative cell (first benchmark, config B, first seed) and
 ``--trace-report OUT.txt`` its per-region forensic abort report; both
 run after the matrix and never change the figure JSON.
+
+``--journal DIR`` makes the sweep crash-safe: every finished cell is
+durably logged into the job folder, and re-running with ``--resume
+DIR`` replays completed cells (and remembered quarantines) instead of
+re-executing them — a SIGKILL'd sweep resumes with exactly-once cell
+execution and byte-identical figure JSON.
+
+Exit status: 0 for a complete matrix, 2 when any cell was quarantined
+(the figure JSON is partial — CI and service callers must not treat it
+as a full sweep).
 """
 
 import json
@@ -67,6 +77,7 @@ def parse_args(argv):
         help="output JSON path (default: .exp_results.json)",
     )
     cli.add_engine_flags(parser)
+    cli.add_journal_flags(parser)
     cli.add_trace_flags(parser)
     parser.add_argument(
         "--benchmarks", default=None, metavar="A,B,...",
@@ -102,6 +113,7 @@ def parse_args(argv):
     )
     args = parser.parse_args(argv)
     cli.validate_engine_flags(parser, args)
+    cli.validate_journal_flags(parser, args)
     if args.chaos is not None and not 0.0 <= args.chaos <= 1.0:
         parser.error("--chaos RATE must be in [0, 1], not {}".format(args.chaos))
     if args.cell_timeout is not None and args.cell_timeout <= 0:
@@ -161,10 +173,12 @@ def main(argv=None):
         args, progress=engine_progress,
         cell_timeout=args.cell_timeout, profile_dir=profile_dir,
     )
+    journal = cli.resolve_journal(args)
     report = None
-    if args.cell_timeout is not None:
+    if args.cell_timeout is not None or journal is not None:
         matrix, report = run_config_matrix(
             settings, progress=progress, engine=engine, allow_partial=True,
+            journal=journal,
         )
     else:
         matrix = run_config_matrix(settings, progress=progress, engine=engine)
@@ -192,14 +206,27 @@ def main(argv=None):
         args.out, payload["elapsed_seconds"], jobs,
         cache_dir or "disabled",
     ))
+    if report is not None and report.journal is not None:
+        counters = report.journal
+        print("journal {}: replayed={} replayed_failures={} executed={} "
+              "cache_hits={} dropped_tail={} skipped_corrupt={}".format(
+                  counters["job_dir"], counters["replayed"],
+                  counters["replayed_failures"], counters["executed"],
+                  report.cache_hits, counters["dropped_tail"],
+                  counters["skipped_corrupt"]))
+    exit_status = 0
     if report is not None and report.failures:
         print("WARNING: {} of {} cells failed; matrix is partial "
               "(see \"failures\" in {})".format(
                   len(report.failures), report.total, args.out))
+        # Partial matrices must be machine-detectable: CI gates and
+        # service callers key off the exit status, not the warning text.
+        exit_status = 2
     if cli.wants_trace(args):
         export_trace(settings, engine, args)
     if profile_dir is not None:
         print_profile_summary(profile_dir)
+    return exit_status
 
 
 def export_trace(settings, engine, args):
@@ -247,4 +274,4 @@ def print_profile_summary(profile_dir, top=15):
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -118,7 +118,7 @@ class ExperimentSettings:
 
 def run_config_matrix(settings=None, progress=None, *, jobs=1,
                       cache_dir=None, engine=None, engine_progress=None,
-                      cell_timeout=None, allow_partial=False):
+                      cell_timeout=None, allow_partial=False, journal=None):
     """Simulate every (benchmark, configuration) pair.
 
     Returns {benchmark: {letter: AggregateResult}}. With
@@ -142,6 +142,11 @@ def run_config_matrix(settings=None, progress=None, *, jobs=1,
     (every figure normalizes across B/P/C/W, so a partial row would be
     misleading) and the :class:`~repro.sim.engine.SweepReport` says
     exactly what failed and why.
+
+    ``journal`` (a job-folder path or
+    :class:`~repro.sim.journal.SweepJournal`) makes the sweep
+    crash-safe: finished cells are durably logged and a resumed call
+    replays them with exactly-once execution.
     """
     settings = settings or ExperimentSettings.quick()
     if engine is None:
@@ -151,10 +156,10 @@ def run_config_matrix(settings=None, progress=None, *, jobs=1,
     specs = settings.expand_specs()
     report = None
     if allow_partial:
-        report = engine.run_specs_report(specs)
+        report = engine.run_specs_report(specs, journal=journal)
         results = report.results
     else:
-        results = engine.run_specs(specs)
+        results = engine.run_specs(specs, journal=journal)
 
     thresholds = settings.cell_thresholds()
     seeds_per_threshold = len(settings.seeds)

@@ -221,7 +221,7 @@ class SimulationReport(Serializable):
 
 def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
              oracle=False, engine=None, ops_per_thread=None,
-             energy_model=None):
+             energy_model=None, journal=None):
     """Simulate a workload and return a :class:`SimulationReport`.
 
     Parameters
@@ -258,6 +258,12 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
     energy_model:
         Override the default :class:`~repro.energy.model.EnergyModel`
         (inline execution only).
+    journal:
+        A crash-safe job folder (path or
+        :class:`~repro.sim.journal.SweepJournal`) durably logging every
+        finished cell; a killed run re-invoked with the same journal
+        replays completed cells instead of re-executing them. Requires
+        ``engine`` (durability is an engine-level property).
     """
     config = _resolve_config(config, oracle)
     seed_list = _resolve_seeds(seeds)
@@ -275,6 +281,11 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
             "trace=True to get one EventTrace per run"
         )
 
+    if journal is not None and engine is None:
+        raise ValueError(
+            "journal is engine-only (crash-safe sweeps need the engine's "
+            "fan-out); pass engine= as well"
+        )
     if engine is not None:
         if not named:
             raise ValueError(
@@ -294,7 +305,9 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
                     ops_per_thread=ops_per_thread, trace=bool(trace))
             for seed in seed_list
         ]
-        return SimulationReport(engine.run_specs(specs), trim=trim)
+        return SimulationReport(
+            engine.run_specs(specs, journal=journal), trim=trim
+        )
 
     if named:
         from repro.workloads import make_workload

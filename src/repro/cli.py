@@ -53,6 +53,62 @@ def add_design_flag(parser, default="baseline"):
     return parser
 
 
+def add_journal_flags(parser):
+    """Attach the crash-safe sweep-journal knobs.
+
+    ``--journal DIR`` records every finished cell into a durable job
+    folder (created on first use, replayed when it already exists);
+    ``--resume DIR`` is the explicit resume spelling — the folder must
+    already hold a journal manifest, so a typo'd path fails loudly
+    instead of silently starting a fresh sweep.
+    """
+    parser.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="crash-safe job folder: durably log per-cell outcomes and "
+             "replay completed cells on restart (created if missing)",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume a previous --journal job folder (must already "
+             "contain a manifest); implies --journal DIR",
+    )
+    return parser
+
+
+def validate_journal_flags(parser, args):
+    """Shared post-parse validation for :func:`add_journal_flags`.
+
+    Folds ``--resume`` into ``args.journal`` after checking the folder
+    is actually resumable.
+    """
+    if getattr(args, "resume", None) is not None:
+        if args.journal is not None and args.journal != args.resume:
+            parser.error(
+                "--journal {} and --resume {} disagree; pass one".format(
+                    args.journal, args.resume
+                )
+            )
+        from repro.sim.journal import SweepJournal
+
+        if not SweepJournal(args.resume).exists():
+            parser.error(
+                "--resume {}: no journal manifest found (was this sweep "
+                "started with --journal?)".format(args.resume)
+            )
+        args.journal = args.resume
+    return args
+
+
+def resolve_journal(args):
+    """The :class:`~repro.sim.journal.SweepJournal`, or None."""
+    path = getattr(args, "journal", None)
+    if not path:
+        return None
+    from repro.sim.journal import SweepJournal
+
+    return SweepJournal(path)
+
+
 def add_scale_flag(parser, choices, default):
     """Attach the shared ``--scale`` knob (same name in every script)."""
     parser.add_argument(
@@ -167,6 +223,9 @@ def wants_trace(args):
 __all__ = [
     "add_engine_flags",
     "add_design_flag",
+    "add_journal_flags",
+    "validate_journal_flags",
+    "resolve_journal",
     "add_scale_flag",
     "add_trace_flags",
     "add_explore_flags",

@@ -88,3 +88,17 @@ class ExperimentCellError(ReproError):
     def __init__(self, message, failure=None):
         super().__init__(message)
         self.failure = failure
+
+
+class JournalError(ReproError):
+    """A sweep journal's job folder cannot be used for this sweep."""
+
+
+class JournalSchemaError(JournalError):
+    """The job folder was written by an incompatible schema version.
+
+    Raised on resume when the manifest's journal or result schema
+    version disagrees with the running code; the recorded results
+    could silently mismean, so the engine refuses to replay them.
+    Start a fresh job folder (or delete the stale one) to proceed.
+    """

@@ -14,12 +14,19 @@
 - :mod:`repro.sim.engine` — the parallel, cached experiment engine
   fanning independent (workload, config, seed) cells over worker
   processes with content-addressed on-disk memoization.
+- :mod:`repro.sim.journal` — crash-safe sweep journaling: job folders
+  with an atomic manifest and an append-only fsync'd outcome log, so a
+  SIGKILL'd sweep resumes with exactly-once cell execution.
 - :mod:`repro.sim.faults` — deterministic seeded fault injection (the
-  chaos layer).
+  chaos layer, faults *inside* the simulated machine).
+- :mod:`repro.sim.enginefaults` — seeded fault injection against the
+  engine substrate itself (worker SIGKILLs, cache corruption, torn
+  journal writes, ENOSPC).
 - :mod:`repro.sim.oracle` — runtime correctness oracles (commit-order
   serializability, invariant sampling, leak checks).
 """
 
+from repro.common.retry import RetryPolicy
 from repro.sim.config import SimConfig, HtmPolicy
 from repro.sim.engine import (
     CellFailure,
@@ -30,7 +37,9 @@ from repro.sim.engine import (
     SweepReport,
     run_specs,
 )
+from repro.sim.enginefaults import EngineFaultPlan
 from repro.sim.faults import FaultPlan
+from repro.sim.journal import SweepJournal
 from repro.sim.oracle import RuntimeOracle
 from repro.sim.program import Load, Store, Compute, Branch, AbortOp, Invoke, Think
 from repro.sim.stats import MachineStats, CoreStats
@@ -42,7 +51,10 @@ __all__ = [
     "HtmPolicy",
     "CellFailure",
     "DiskCache",
+    "EngineFaultPlan",
     "ExperimentEngine",
+    "RetryPolicy",
+    "SweepJournal",
     "SweepReport",
     "FaultPlan",
     "ProgressEvent",

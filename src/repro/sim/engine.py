@@ -11,6 +11,14 @@ machinery everything above it builds on:
 - :class:`DiskCache` — a content-addressed on-disk result store keyed
   by SHA-256 over (schema version, workload, ops_per_thread, seed,
   config fingerprint); re-runs and crashed sweeps resume for free.
+  Production-hardened: size-capped LRU eviction, cross-process write
+  locking, corrupt-entry quarantine, and graceful degradation to
+  cache-off on a full disk.
+- Crash-safe sweeps — pass ``journal=`` (a
+  :class:`~repro.sim.journal.SweepJournal` job folder) to the run
+  entry points and every finished cell is durably logged; a SIGKILL'd
+  sweep resumed with the same folder replays completed cells with
+  exactly-once execution semantics.
 - :class:`ExperimentEngine` — expands specs, serves what it can from
   the cache, fans the misses out over a ``ProcessPoolExecutor``
   (``jobs=1`` degenerates to a strictly serial in-process loop so
@@ -27,17 +35,26 @@ serial, parallel, and cached runs are indistinguishable downstream.
 
 import collections
 import concurrent.futures
+import contextlib
 import cProfile
 import dataclasses
+import errno
 import functools
 import hashlib
 import json
 import os
-import tempfile
 import time
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.common.diskio import DiskIO
 from repro.common.errors import ExperimentCellError
+from repro.common.retry import RetryPolicy
 from repro.common.serialize import Serializable
+from repro.sim.journal import SweepJournal
 from repro.obs.trace import EventTrace
 from repro.sim.config import SimConfig
 from repro.sim.runner import RunResult, _simulate_one
@@ -136,44 +153,139 @@ def execute_spec_profiled(spec, profile_dir):
     return result
 
 
+@dataclasses.dataclass
+class CacheStats:
+    """What the cache did this process: served, stored, shed, survived."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    corrupt_quarantined: int = 0
+    enospc_degraded: bool = False
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+
 class DiskCache:
     """Content-addressed JSON store under one root directory.
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out keeps any
-    single directory small). Writes are atomic (temp file + rename), so
-    a crashed run never leaves a truncated entry; corrupt or unreadable
-    entries read as misses and are overwritten on the next store.
+    single directory small). Writes are atomic (temp file + fsync +
+    rename, through the injectable :class:`~repro.common.diskio.DiskIO`
+    seam), so a crashed run never leaves a truncated entry. Production
+    hardening beyond the original store:
+
+    - **Size bound** — with ``max_bytes`` set, stores evict the
+      least-recently-used entries (mtime order; loads touch mtime)
+      until the cache fits. Entries read or written since the last
+      :meth:`begin_sweep` are pinned and never evicted, so a sweep can
+      trust every key it has already observed.
+    - **Concurrent writers** — stores and evictions run under an
+      advisory ``flock`` on ``<root>/.lock``, so parallel sweeps
+      sharing one cache (the service's dedupe path) cannot interleave
+      an eviction scan with each other's renames.
+    - **Corruption accounting** — an unparseable entry is moved to
+      ``<root>/quarantine/`` and counted (``stats.corrupt_quarantined``)
+      instead of silently shadowing a bug; the key reads as a miss and
+      the next store rewrites it.
+    - **Graceful ENOSPC degradation** — a full disk flips the cache to
+      disabled (every load a miss, every store a no-op) so the sweep
+      finishes uncached instead of crashing.
     """
 
-    def __init__(self, root):
+    QUARANTINE_DIR = "quarantine"
+    LOCK_NAME = ".lock"
+
+    def __init__(self, root, max_bytes=None, io=None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
         self.root = root
+        self.max_bytes = max_bytes
+        self.io = io if io is not None else DiskIO()
+        self.stats = CacheStats()
+        self.disabled = False
+        self._pinned = set()
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def begin_sweep(self):
+        """Start a fresh pin generation: prior pins become evictable."""
+        self._pinned.clear()
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Advisory cross-process lock over mutating operations."""
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(os.path.join(self.root, self.LOCK_NAME),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing releases the flock
+
     def load(self, key):
         """The stored dict for ``key``, or None on miss/corruption.
 
-        Anything short of a well-formed entry written by this schema
-        version — unreadable file, truncated/invalid JSON, a non-dict
-        payload, a missing ``"result"``, or a stale ``schema_version``
-        — is a miss; the next :meth:`store` overwrites it.
+        A missing file or a stale ``schema_version`` is a plain miss.
+        An *unparseable or malformed* entry is quarantined (moved to
+        ``quarantine/``, counted) — the atomic write protocol means it
+        cannot be a torn write of ours, so it is evidence worth keeping.
         """
+        if self.disabled:
+            return None
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(key)
             return None
         if not isinstance(payload, dict) or "result" not in payload:
+            self._quarantine(key)
             return None
         if payload.get("schema_version") != SCHEMA_VERSION:
+            self.stats.misses += 1
             return None
+        self._pinned.add(key)
+        self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
         return payload["result"]
 
+    def _quarantine(self, key):
+        """Preserve a corrupt entry out of band; the key reads as a miss."""
+        self.stats.corrupt_quarantined += 1
+        quarantine = os.path.join(self.root, self.QUARANTINE_DIR)
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(self._path(key),
+                       os.path.join(quarantine, key + ".json"))
+        except OSError:
+            pass  # racing writer already replaced/removed it
+
     def store(self, key, result, spec=None):
-        """Atomically persist ``result`` (a RunResult dict) under ``key``."""
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+        """Atomically persist ``result`` (a RunResult dict) under ``key``.
+
+        No-op once the cache has degraded to off (ENOSPC). A failed
+        serialization or write never leaves a temp file behind (the
+        DiskIO seam cleans up), so the cache directory cannot fill with
+        ``*.tmp`` litter from crashed or erroring sweeps.
+        """
+        if self.disabled:
+            return
         payload = {"schema_version": SCHEMA_VERSION, "result": result}
         if spec is not None:
             payload["spec"] = {
@@ -182,19 +294,92 @@ class DiskCache:
                 "seed": spec.seed,
                 "config": spec.config.to_dict(),
             }
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=os.path.dirname(path), suffix=".tmp", delete=False
-        )
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         try:
-            with handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
+            with self._locked():
+                self.io.write_atomic(self._path(key), data)
+                self._pinned.add(key)
+                self.stats.stores += 1
+                if self.max_bytes is not None:
+                    self._evict()
+        except OSError as exc:
+            if exc.errno == errno.ENOSPC:
+                self.disabled = True
+                self.stats.enospc_degraded = True
+                return
             raise
+
+    def _entries(self):
+        """Every cache entry as ``(mtime, size, key, path)``."""
+        entries = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return entries
+        for shard in shards:
+            if len(shard) != 2:
+                continue  # quarantine/, .lock, stray files
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, name[:-5], path))
+        return entries
+
+    def _evict(self):
+        """Drop least-recently-used unpinned entries until under budget.
+
+        Called with the lock held. Pinned keys (read or written this
+        sweep) are never candidates, so the cache may temporarily
+        exceed ``max_bytes`` when the live working set alone is larger
+        than the bound — by design: correctness of the running sweep
+        beats the size target.
+        """
+        entries = self._entries()
+        total = sum(size for _, size, _, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, key, path in sorted(entries):
+            if key in self._pinned:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+            if total <= self.max_bytes:
+                return
+
+
+class _FailureLog(list):
+    """A failure list that durably journals each quarantine as it lands.
+
+    Quarantines are appended from several recovery paths (serial
+    errors, timeouts, crash loops); hooking ``append`` records every
+    one the moment it is decided, so a SIGKILL after a quarantine but
+    before sweep end cannot forget it. Replayed failures bypass the
+    hook (``list.append``) — they are already on disk.
+    """
+
+    def __init__(self, on_failure=None):
+        super().__init__()
+        self._on_failure = on_failure
+
+    def append(self, failure):
+        super().append(failure)
+        if self._on_failure is not None:
+            self._on_failure(failure)
 
 
 @dataclasses.dataclass
@@ -285,6 +470,10 @@ class SweepReport(Serializable):
     """Outcome of a fault-tolerant sweep: a possibly partial matrix.
 
     ``results`` aligns with the input specs; failed cells hold ``None``.
+    ``journal`` (journaled sweeps only) carries the exactly-once proof:
+    how many cells were replayed from the job folder versus freshly
+    executed, plus the recovery counters (torn tail dropped, corrupt
+    records skipped).
     """
 
     results: list
@@ -292,6 +481,7 @@ class SweepReport(Serializable):
     total: int
     completed: int
     cache_hits: int
+    journal: dict = None
 
     @property
     def ok(self):
@@ -308,8 +498,13 @@ class SweepReport(Serializable):
         }
 
     def to_dict(self):
-        """The whole (possibly partial) matrix as a JSON dict."""
-        return {
+        """The whole (possibly partial) matrix as a JSON dict.
+
+        The ``journal`` key only appears for journaled sweeps, so an
+        unjournaled report serializes byte-identically to one from a
+        build without the durability layer.
+        """
+        data = {
             "results": [
                 result.to_dict() if result is not None else None
                 for result in self.results
@@ -319,6 +514,9 @@ class SweepReport(Serializable):
             "completed": self.completed,
             "cache_hits": self.cache_hits,
         }
+        if self.journal is not None:
+            data["journal"] = self.journal
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -334,6 +532,7 @@ class SweepReport(Serializable):
             total=data["total"],
             completed=data["completed"],
             cache_hits=data["cache_hits"],
+            journal=data.get("journal"),
         )
 
 
@@ -353,8 +552,29 @@ class ExperimentEngine:
                        (parallel mode only; ``None`` disables).
     ``max_cell_retries``      — extra attempts a timed-out or
                        crash-victim cell gets before quarantine.
-    ``retry_backoff_seconds`` — base sleep after a pool kill/crash,
-                       doubled per consecutive restart (bounded).
+    ``retry_backoff_seconds`` — base sleep after a pool kill/crash
+                       (legacy spelling; builds the default
+                       ``retry_policy``).
+    ``retry_policy`` — a :class:`~repro.common.retry.RetryPolicy`
+                       governing pool-restart backoff: jittered
+                       exponential delays plus an optional total
+                       retry-time budget; once the budget is exhausted
+                       further retry candidates are quarantined so the
+                       sweep always terminates.
+    ``cache_max_bytes`` — LRU size bound for the on-disk cache
+                       (``None`` = unbounded); ``cache_dir`` may also
+                       be a prebuilt :class:`DiskCache` for full
+                       control (size bound, custom IO seam).
+    ``execute``      — override the per-cell executor (module-level
+                       picklable callable; the chaos harness's seam).
+
+    Durability: pass ``journal=`` (a job-folder path or
+    :class:`~repro.sim.journal.SweepJournal`) to the run entry points
+    and every finished cell is durably logged the moment it completes.
+    A killed sweep resumed with the same journal replays completed
+    cells and remembered quarantines instead of re-executing them, and
+    a torn tail record (the crash hit mid-write) is detected and
+    dropped rather than poisoning the resume.
 
     Fault tolerance: a hung cell trips the per-cell deadline, the pool
     is torn down (``ProcessPoolExecutor`` cannot cancel a *running*
@@ -378,7 +598,8 @@ class ExperimentEngine:
 
     def __init__(self, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None,
                  cell_timeout=None, max_cell_retries=2,
-                 retry_backoff_seconds=0.5, profile_dir=None):
+                 retry_backoff_seconds=0.5, profile_dir=None,
+                 retry_policy=None, cache_max_bytes=None, execute=None):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, not {}".format(self.jobs))
@@ -386,30 +607,42 @@ class ExperimentEngine:
             raise ValueError("cell_timeout must be positive or None")
         if max_cell_retries < 0:
             raise ValueError("max_cell_retries must be >= 0")
-        self.cache = DiskCache(cache_dir) if cache_dir else None
+        if isinstance(cache_dir, DiskCache):
+            self.cache = cache_dir
+        else:
+            self.cache = (
+                DiskCache(cache_dir, max_bytes=cache_max_bytes)
+                if cache_dir else None
+            )
         self.progress = progress
         self.cell_timeout = cell_timeout
         self.max_cell_retries = max_cell_retries
         self.retry_backoff_seconds = retry_backoff_seconds
+        self.retry_policy = retry_policy if retry_policy is not None else (
+            RetryPolicy(base_seconds=retry_backoff_seconds,
+                        max_seconds=self.MAX_BACKOFF_SECONDS)
+        )
         self.profile_dir = profile_dir
         # Cells served from cache are never profiled — only actual
         # simulation work produces a .prof file.
-        if profile_dir is None:
+        if execute is not None:
+            self._execute = execute
+        elif profile_dir is None:
             self._execute = execute_spec
         else:
             self._execute = functools.partial(
                 execute_spec_profiled, profile_dir=profile_dir
             )
 
-    def run_specs(self, specs):
+    def run_specs(self, specs, *, journal=None):
         """Simulate (or recall) every spec; results in spec order.
 
         Strict mode: the first failed cell raises — the original
         simulation error when there is one, otherwise an
         :class:`~repro.common.errors.ExperimentCellError` (timeouts,
-        repeated worker crashes).
+        repeated worker crashes, replayed quarantines).
         """
-        report = self._run(list(specs))
+        report = self._run(list(specs), journal=journal)
         if report.failures:
             failure = report.failures[0]
             if failure.exception is not None:
@@ -423,10 +656,17 @@ class ExperimentEngine:
             )
         return report.results
 
-    def run_specs_report(self, specs):
+    def run_specs_report(self, specs, *, journal=None):
         """Fault-tolerant sweep: a :class:`SweepReport`, never raising
-        for individual cell failures (results carry ``None`` holes)."""
-        return self._run(list(specs))
+        for individual cell failures (results carry ``None`` holes).
+
+        With ``journal`` (a job-folder path or
+        :class:`~repro.sim.journal.SweepJournal`) the sweep is
+        crash-safe: completed cells and quarantines are durably logged
+        as they happen, and a resumed run replays them instead of
+        re-executing (``report.journal`` carries the proof counters).
+        """
+        return self._run(list(specs), journal=journal)
 
     def run_spec(self, spec):
         """Convenience single-cell entry point."""
@@ -463,15 +703,26 @@ class ExperimentEngine:
 
     # -- internals ----------------------------------------------------------
 
-    def _run(self, specs, *, execute=None, decode=True, use_cache=True):
+    def _run(self, specs, *, execute=None, decode=True, use_cache=True,
+             journal=None):
         started = time.monotonic()
         total = len(specs)
-        progress_state = {"done": 0, "cache_hits": 0}
+        progress_state = {"done": 0, "cache_hits": 0, "replayed": 0,
+                          "executed": 0}
         result_dicts = [None] * total
         if execute is None:
             execute = self._execute
         use_cache = use_cache and self.cache is not None
-        keys = [spec.cache_key() for spec in specs] if use_cache else None
+        if isinstance(journal, (str, os.PathLike)):
+            journal = SweepJournal(journal)
+        keys = None
+        if use_cache or journal is not None:
+            keys = [spec.cache_key() for spec in specs]
+        if journal is not None:
+            journal.ensure(specs, SCHEMA_VERSION)
+        if use_cache:
+            self.cache.begin_sweep()
+        self.retry_policy.begin()
 
         def emit(index, from_cache):
             if self.progress is None:
@@ -485,32 +736,56 @@ class ExperimentEngine:
                 from_cache=from_cache,
             ))
 
-        def record(index, result, from_cache=False):
+        def record(index, result, from_cache=False, replayed=False):
             result_dicts[index] = result
             if not from_cache and use_cache:
                 self.cache.store(keys[index], result, specs[index])
+            if journal is not None and not replayed:
+                # Durable the moment it finishes: cache hits included,
+                # so the journal stays self-contained even if the cache
+                # is later evicted or the resume runs with --no-cache.
+                journal.record_result(keys[index], result)
             progress_state["done"] += 1
             if from_cache:
                 progress_state["cache_hits"] += 1
-            emit(index, from_cache)
+            elif replayed:
+                progress_state["replayed"] += 1
+            else:
+                progress_state["executed"] += 1
+            emit(index, from_cache or replayed)
 
+        failures = _FailureLog(
+            None if journal is None
+            else (lambda failure: journal.record_failure(
+                failure.spec.cache_key(), failure.to_dict()))
+        )
+        replayed_records = journal.replay() if journal is not None else {}
         misses = []
-        if use_cache:
-            for index, key in enumerate(keys):
-                cached = self.cache.load(key)
+        for index in range(total):
+            if journal is not None:
+                record_entry = replayed_records.get(keys[index])
+                if record_entry is not None:
+                    if record_entry["status"] == "done":
+                        record(index, record_entry["result"], replayed=True)
+                    else:
+                        # A remembered quarantine: deterministic retries
+                        # already failed; re-append without re-logging.
+                        list.append(failures, CellFailure.from_dict(
+                            record_entry["failure"]
+                        ))
+                    continue
+            if use_cache:
+                cached = self.cache.load(keys[index])
                 if cached is not None:
                     record(index, cached, from_cache=True)
-                else:
-                    misses.append(index)
-        else:
-            misses = list(range(total))
+                    continue
+            misses.append(index)
 
-        if not misses:
-            failures = []
-        elif self.jobs == 1:
-            failures = self._run_serial(specs, misses, record, execute)
-        else:
-            failures = self._run_parallel(specs, misses, record, execute)
+        if misses:
+            if self.jobs == 1:
+                self._run_serial(specs, misses, record, execute, failures)
+            else:
+                self._run_parallel(specs, misses, record, execute, failures)
 
         if decode:
             results = [
@@ -519,21 +794,30 @@ class ExperimentEngine:
             ]
         else:
             results = result_dicts
+        journal_info = None
+        if journal is not None:
+            journal_info = dict(journal.counters())
+            journal_info.update(
+                job_dir=journal.path,
+                replayed=progress_state["replayed"],
+                executed=progress_state["executed"],
+            )
         return SweepReport(
             results=results,
-            failures=failures,
+            failures=list(failures),
             total=total,
             completed=progress_state["done"],
             cache_hits=progress_state["cache_hits"],
+            journal=journal_info,
         )
 
-    def _run_serial(self, specs, misses, record, execute):
+    def _run_serial(self, specs, misses, record, execute, failures):
         """In-process loop (``jobs=1``): deterministic, no timeouts.
 
         Each finished cell is persisted before the next starts, so a
-        ``KeyboardInterrupt`` loses at most the in-flight cell.
+        ``KeyboardInterrupt`` (or SIGKILL, with a journal) loses at
+        most the in-flight cell.
         """
-        failures = []
         for index in misses:
             try:
                 result = execute(specs[index])
@@ -550,7 +834,7 @@ class ExperimentEngine:
             record(index, result)
         return failures
 
-    def _run_parallel(self, specs, misses, record, execute):
+    def _run_parallel(self, specs, misses, record, execute, failures):
         """Bounded-submission pool loop with deadlines and recovery.
 
         At most ``workers`` cells are in flight at once, so every
@@ -561,7 +845,6 @@ class ExperimentEngine:
         workers = min(self.jobs, len(misses))
         pending = collections.deque(misses)
         attempts = collections.Counter()
-        failures = []
         pool = concurrent.futures.ProcessPoolExecutor(workers)
         inflight = {}  # future -> (spec index, deadline or None)
         pool_restarts = 0
@@ -682,8 +965,19 @@ class ExperimentEngine:
         """Requeue ``index`` for another attempt, or quarantine it.
 
         Returns True when the cell was requeued, False when it was
-        quarantined into ``failures``.
+        quarantined into ``failures``. A cell is quarantined either
+        when its per-cell attempts are spent or when the engine-wide
+        retry budget (``retry_policy.budget_seconds``) has run out —
+        the substrate's analogue of the paper's bounded speculation:
+        retries are strictly bounded, then the fallback (a partial
+        matrix plus a structured report) always completes.
         """
+        if self.retry_policy.exhausted():
+            failures.append(CellFailure(
+                spec=specs[index], kind=kind, attempts=attempts[index],
+                message=message + " (retry budget exhausted)",
+            ))
+            return False
         if attempts[index] > self.max_cell_retries:
             failures.append(CellFailure(
                 spec=specs[index], kind=kind, attempts=attempts[index],
@@ -694,13 +988,8 @@ class ExperimentEngine:
         return True
 
     def _backoff(self, restarts):
-        if self.retry_backoff_seconds <= 0:
-            return
-        delay = min(
-            self.retry_backoff_seconds * (2 ** (restarts - 1)),
-            self.MAX_BACKOFF_SECONDS,
-        )
-        time.sleep(delay)
+        """Pause before the next pool restart, per the retry policy."""
+        self.retry_policy.pause(restarts)
 
     @staticmethod
     def _kill_pool(pool):
@@ -718,10 +1007,11 @@ class ExperimentEngine:
 
 def run_specs(specs, *, jobs=None, cache_dir=DEFAULT_CACHE_DIR, progress=None,
               cell_timeout=None, max_cell_retries=2,
-              retry_backoff_seconds=0.5):
+              retry_backoff_seconds=0.5, retry_policy=None, journal=None):
     """One-shot functional entry point over a throwaway engine."""
     engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
                               progress=progress, cell_timeout=cell_timeout,
                               max_cell_retries=max_cell_retries,
-                              retry_backoff_seconds=retry_backoff_seconds)
-    return engine.run_specs(specs)
+                              retry_backoff_seconds=retry_backoff_seconds,
+                              retry_policy=retry_policy)
+    return engine.run_specs(specs, journal=journal)

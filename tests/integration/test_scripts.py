@@ -138,3 +138,134 @@ class TestExperimentPipeline:
             sys.path.remove(str(SCRIPTS))
         assert json_path.exists()
         assert not cache_dir.exists()
+
+
+class TestJournalFlags:
+    """The crash-safe sweep knobs and the partial-matrix exit status."""
+
+    def micro_settings(self, run_experiments):
+        return lambda scale: run_experiments.ExperimentSettings(
+            benchmarks=("mwobject",), num_cores=2, ops_per_thread=3,
+            seeds=(1,),
+        )
+
+    def test_journaled_run_exits_zero_and_resumes(self, tmp_path, monkeypatch):
+        json_path = tmp_path / "results.json"
+        resumed_path = tmp_path / "resumed.json"
+        job = tmp_path / "job"
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(run_experiments, "settings_for",
+                                self.micro_settings(run_experiments))
+            status = run_experiments.main(
+                ["micro", str(json_path), "--jobs", "1", "--no-cache",
+                 "--journal", str(job)]
+            )
+            assert status == 0
+            assert (job / "manifest.json").exists()
+            assert (job / "journal.jsonl").exists()
+            status = run_experiments.main(
+                ["micro", str(resumed_path), "--jobs", "1", "--no-cache",
+                 "--resume", str(job)]
+            )
+            assert status == 0
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        first = json.loads(json_path.read_text())
+        resumed = json.loads(resumed_path.read_text())
+        first.pop("elapsed_seconds")
+        resumed.pop("elapsed_seconds")
+        assert first == resumed
+
+    def test_resume_of_missing_job_folder_errors(self, tmp_path, monkeypatch):
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+
+            monkeypatch.setattr(run_experiments, "settings_for",
+                                self.micro_settings(run_experiments))
+            import pytest
+
+            with pytest.raises(SystemExit) as excinfo:
+                run_experiments.main(
+                    ["micro", str(tmp_path / "out.json"),
+                     "--resume", str(tmp_path / "nonexistent")]
+                )
+            assert excinfo.value.code == 2
+        finally:
+            sys.path.remove(str(SCRIPTS))
+
+    def test_quarantined_cells_exit_nonzero(self, tmp_path, monkeypatch):
+        """Satellite S2: a partial matrix must be machine-detectable."""
+        json_path = tmp_path / "results.json"
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import run_experiments
+            from repro.sim.engine import CellFailure
+
+            monkeypatch.setattr(run_experiments, "settings_for",
+                                self.micro_settings(run_experiments))
+            real = run_experiments.run_config_matrix
+
+            def lossy_matrix(settings, **kwargs):
+                matrix, report = real(settings, **kwargs)
+                report.failures.append(CellFailure(
+                    spec=report_spec(settings), kind="timeout", attempts=3,
+                    message="injected quarantine",
+                ))
+                return matrix, report
+
+            def report_spec(settings):
+                from repro.sim.engine import RunSpec
+
+                return RunSpec(
+                    workload=settings.benchmarks[0],
+                    config=settings.config_for("B"),
+                    seed=settings.seeds[0],
+                    ops_per_thread=settings.ops_per_thread,
+                )
+
+            monkeypatch.setattr(run_experiments, "run_config_matrix",
+                                lossy_matrix)
+            status = run_experiments.main(
+                ["micro", str(json_path), "--jobs", "1", "--no-cache",
+                 "--journal", str(tmp_path / "job")]
+            )
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        assert status == 2
+        payload = json.loads(json_path.read_text())
+        assert payload["failures"]["failed"] == 1
+
+
+class TestBenchDesignsJournal:
+    def test_matrix_journal_resumes_identical(self, tmp_path):
+        """One job folder journals the whole cross-design matrix."""
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import bench_designs
+
+            job = tmp_path / "job"
+            outputs = {}
+            for label, journal_flag in (
+                ("first", ["--journal", str(job)]),
+                ("resumed", ["--resume", str(job)]),
+            ):
+                json_path = tmp_path / (label + ".json")
+                md_path = tmp_path / (label + ".md")
+                bench_designs.main(
+                    ["--scale", "micro", "--workloads", "mwobject",
+                     "--designs", "baseline", "powertm",
+                     "--jobs", "1", "--no-cache",
+                     "--json", str(json_path), "--markdown", str(md_path)]
+                    + journal_flag
+                )
+                outputs[label] = json.loads(json_path.read_text())
+        finally:
+            sys.path.remove(str(SCRIPTS))
+        assert outputs["first"] == outputs["resumed"]
+        # Both engine calls merged their cells into one manifest.
+        manifest = json.loads((job / "manifest.json").read_text())
+        assert len(manifest["cells"]) == 4  # 1 workload x 2 designs x 2 seeds

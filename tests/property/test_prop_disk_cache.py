@@ -1,0 +1,100 @@
+"""Property-based tests for DiskCache LRU eviction and pinning.
+
+The invariant the engine's correctness rests on: whatever traffic a
+sweep generates and however small the size bound, an entry *read or
+written since the last* ``begin_sweep()`` is pinned and must never be
+evicted — the sweep may trust every key it has already observed. The
+size bound is best-effort below that guarantee.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import DiskCache
+
+KEYS = ["k%02d" % i for i in range(8)]
+
+# A sweep's cache traffic: stores, loads, and sweep boundaries.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.sampled_from(KEYS)),
+        st.tuples(st.just("load"), st.sampled_from(KEYS)),
+        st.tuples(st.just("begin_sweep"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+def present(cache, key):
+    return os.path.exists(cache._path(key))
+
+
+@given(operations, st.integers(min_value=50, max_value=600))
+@settings(max_examples=60, deadline=None)
+def test_entries_touched_this_sweep_never_evicted(ops, max_bytes):
+    with tempfile.TemporaryDirectory() as root:
+        cache = DiskCache(os.path.join(root, "cache"), max_bytes=max_bytes)
+        touched = set()  # keys observed since the last begin_sweep
+        for op, key in ops:
+            if op == "store":
+                cache.store(key, {"payload": key * 4})
+                touched.add(key)
+            elif op == "load":
+                if cache.load(key) is not None:
+                    touched.add(key)
+            else:
+                cache.begin_sweep()
+                touched.clear()
+            # The invariant, checked after every single operation.
+            for pinned_key in touched:
+                assert present(cache, pinned_key), (
+                    "evicted {} although it was touched this sweep "
+                    "(ops={}, max_bytes={})".format(pinned_key, ops, max_bytes)
+                )
+
+
+@given(operations, st.integers(min_value=50, max_value=600))
+@settings(max_examples=60, deadline=None)
+def test_touched_entries_always_reload(ops, max_bytes):
+    """Stronger than file presence: the payload itself must survive."""
+    with tempfile.TemporaryDirectory() as root:
+        cache = DiskCache(os.path.join(root, "cache"), max_bytes=max_bytes)
+        live = {}  # touched-this-sweep key -> expected payload
+        for op, key in ops:
+            if op == "store":
+                value = {"payload": key * 4}
+                cache.store(key, value)
+                live[key] = value
+            elif op == "load":
+                value = cache.load(key)
+                if key in live:
+                    assert value == live[key]
+                elif value is not None:
+                    live[key] = value
+            else:
+                cache.begin_sweep()
+                live.clear()
+        for key, value in live.items():
+            assert cache.load(key) == value
+
+
+@given(operations)
+@settings(max_examples=30, deadline=None)
+def test_unbounded_cache_never_evicts(ops):
+    with tempfile.TemporaryDirectory() as root:
+        cache = DiskCache(os.path.join(root, "cache"))
+        stored = set()
+        for op, key in ops:
+            if op == "store":
+                cache.store(key, {"payload": key})
+                stored.add(key)
+            elif op == "load":
+                cache.load(key)
+            else:
+                cache.begin_sweep()
+        assert cache.stats.evictions == 0
+        for key in stored:
+            assert present(cache, key)

@@ -219,3 +219,25 @@ class TestLegacyEquivalence:
                 "arrayswap", config, thresholds=(1,), seeds=(1,),
                 ops_per_thread=OPS,
             )
+
+
+class TestJournalParameter:
+    def test_journal_without_engine_raises(self, tmp_path):
+        config = SimConfig.for_design("baseline", num_cores=2)
+        with pytest.raises(ValueError, match="engine-only"):
+            simulate("mwobject", config, seeds=1, ops_per_thread=3,
+                     journal=str(tmp_path / "job"))
+
+    def test_journal_with_engine_records_and_replays(self, tmp_path):
+        from repro.sim.engine import ExperimentEngine
+        from repro.sim.journal import SweepJournal
+
+        config = SimConfig.for_design("baseline", num_cores=2)
+        engine = ExperimentEngine(jobs=1, cache_dir=None)
+        job = str(tmp_path / "job")
+        first = simulate("mwobject", config, seeds=(1, 2), trim=0,
+                         ops_per_thread=3, engine=engine, journal=job)
+        assert SweepJournal(job).exists()
+        again = simulate("mwobject", config, seeds=(1, 2), trim=0,
+                         ops_per_thread=3, engine=engine, journal=job)
+        assert again.to_dict() == first.to_dict()

@@ -86,3 +86,49 @@ class TestWantsTrace:
         assert not cli.wants_trace(parser.parse_args([]))
         assert cli.wants_trace(parser.parse_args(["--trace", "t.json"]))
         assert cli.wants_trace(parser.parse_args(["--trace-report", "t.txt"]))
+
+
+class TestJournalFlags:
+    def make_parser(self):
+        parser = cli.argparse.ArgumentParser()
+        cli.add_journal_flags(parser)
+        return parser
+
+    def test_defaults_off(self):
+        parser = self.make_parser()
+        args = cli.validate_journal_flags(parser, parser.parse_args([]))
+        assert args.journal is None
+        assert cli.resolve_journal(args) is None
+
+    def test_journal_dir_resolves(self, tmp_path):
+        parser = self.make_parser()
+        args = parser.parse_args(["--journal", str(tmp_path / "job")])
+        cli.validate_journal_flags(parser, args)
+        journal = cli.resolve_journal(args)
+        assert journal is not None
+        assert journal.path == str(tmp_path / "job")
+
+    def test_resume_requires_existing_manifest(self, tmp_path):
+        parser = self.make_parser()
+        args = parser.parse_args(["--resume", str(tmp_path / "nope")])
+        with pytest.raises(SystemExit):
+            cli.validate_journal_flags(parser, args)
+
+    def test_resume_folds_into_journal(self, tmp_path):
+        from repro.sim.engine import SCHEMA_VERSION
+        from repro.sim.journal import SweepJournal
+
+        job = str(tmp_path / "job")
+        SweepJournal(job).ensure([], SCHEMA_VERSION)
+        parser = self.make_parser()
+        args = parser.parse_args(["--resume", job])
+        cli.validate_journal_flags(parser, args)
+        assert args.journal == job
+
+    def test_conflicting_journal_and_resume_error(self, tmp_path):
+        parser = self.make_parser()
+        args = parser.parse_args(
+            ["--journal", str(tmp_path / "a"), "--resume", str(tmp_path / "b")]
+        )
+        with pytest.raises(SystemExit):
+            cli.validate_journal_flags(parser, args)

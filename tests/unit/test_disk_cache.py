@@ -1,0 +1,200 @@
+"""Unit tests for the hardened DiskCache (size bound, quarantine, ENOSPC)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.sim.engine import SCHEMA_VERSION, DiskCache
+from repro.sim.enginefaults import EngineFaultPlan, FaultyIO
+
+
+def fill(cache, key, payload_bytes=64):
+    """Store a result whose entry is roughly ``payload_bytes`` on disk."""
+    cache.store(key, {"pad": "x" * payload_bytes})
+
+
+def entry_keys(cache):
+    keys = set()
+    for shard in os.listdir(cache.root):
+        if len(shard) != 2:
+            continue
+        for name in os.listdir(os.path.join(cache.root, shard)):
+            if name.endswith(".json"):
+                keys.add(name[:-5])
+    return keys
+
+
+class TestTempFileHygiene:
+    def test_failed_serialization_leaves_no_temp_litter(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        with pytest.raises(TypeError):
+            cache.store("badkey", {"payload": object()})  # not serializable
+        litter = [
+            name
+            for _, _, names in os.walk(str(tmp_path / "cache"))
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert litter == []
+
+    def test_failed_store_then_good_store_works(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        with pytest.raises(TypeError):
+            cache.store("key", {"payload": object()})
+        cache.store("key", {"payload": 1})
+        assert cache.load("key") == {"payload": 1}
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moved_and_counted(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        cache.store("deadbeef", {"v": 1})
+        with open(cache._path("deadbeef"), "wb") as handle:
+            handle.write(b"\x00not json at all")
+        assert cache.load("deadbeef") is None
+        assert cache.stats.corrupt_quarantined == 1
+        quarantined = os.path.join(
+            cache.root, DiskCache.QUARANTINE_DIR, "deadbeef.json"
+        )
+        assert os.path.exists(quarantined)
+        assert not os.path.exists(cache._path("deadbeef"))
+
+    def test_malformed_object_quarantined(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        cache.store("deadbeef", {"v": 1})
+        with open(cache._path("deadbeef"), "w") as handle:
+            json.dump({"schema_version": SCHEMA_VERSION}, handle)  # no result
+        assert cache.load("deadbeef") is None
+        assert cache.stats.corrupt_quarantined == 1
+
+    def test_stale_schema_is_plain_miss_not_quarantine(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        cache.store("deadbeef", {"v": 1})
+        with open(cache._path("deadbeef"), "w") as handle:
+            json.dump({"schema_version": SCHEMA_VERSION - 1, "result": {}},
+                      handle)
+        assert cache.load("deadbeef") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt_quarantined == 0
+        assert os.path.exists(cache._path("deadbeef"))
+
+    def test_quarantined_key_rewritable(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        cache.store("deadbeef", {"v": 1})
+        with open(cache._path("deadbeef"), "wb") as handle:
+            handle.write(b"garbage")
+        assert cache.load("deadbeef") is None
+        cache.store("deadbeef", {"v": 2})
+        assert cache.load("deadbeef") == {"v": 2}
+
+
+class TestEviction:
+    def test_no_bound_never_evicts(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        for i in range(10):
+            fill(cache, "key%02d" % i)
+        assert cache.stats.evictions == 0
+        assert len(entry_keys(cache)) == 10
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(str(tmp_path / "cache"), max_bytes=0)
+
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"), max_bytes=300)
+        for i in range(6):
+            fill(cache, "key%02d" % i)
+            os.utime(cache._path("key%02d" % i), (i, i))  # force mtime order
+            cache.begin_sweep()  # unpin so eviction can act
+        fill(cache, "newkey")
+        assert cache.stats.evictions > 0
+        survivors = entry_keys(cache)
+        assert "newkey" in survivors
+        assert "key00" not in survivors  # oldest went first
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"), max_bytes=300)
+        for i in range(6):
+            fill(cache, "key%02d" % i)
+            os.utime(cache._path("key%02d" % i), (i, i))
+        cache.begin_sweep()
+        assert cache.load("key00") is not None  # touch + pin the oldest
+        fill(cache, "newkey")
+        survivors = entry_keys(cache)
+        assert "key00" in survivors
+        assert "key01" not in survivors  # next-oldest evicted instead
+
+    def test_pinned_entries_never_evicted(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"), max_bytes=200)
+        for i in range(5):
+            fill(cache, "key%02d" % i)
+        # Everything stored this sweep is pinned: bound exceeded, no evictions.
+        assert cache.stats.evictions == 0
+        assert len(entry_keys(cache)) == 5
+        cache.begin_sweep()  # next sweep: pins cleared
+        fill(cache, "newkey")
+        assert cache.stats.evictions > 0
+        assert "newkey" in entry_keys(cache)
+
+    def test_eviction_counts_bytes(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"), max_bytes=150)
+        fill(cache, "key00")
+        cache.begin_sweep()
+        fill(cache, "key01")
+        fill(cache, "key02")
+        assert cache.stats.evicted_bytes > 0
+        assert cache.stats.evictions >= 1
+
+
+class TestEnospcDegradation:
+    def make_degraded(self, tmp_path):
+        io = FaultyIO(EngineFaultPlan(seed=1, enospc_rate=1.0))
+        cache = DiskCache(str(tmp_path / "cache"), io=io)
+        cache.store("key", {"v": 1})
+        return cache
+
+    def test_enospc_disables_cache(self, tmp_path):
+        cache = self.make_degraded(tmp_path)
+        assert cache.disabled
+        assert cache.stats.enospc_degraded
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = self.make_degraded(tmp_path)
+        cache.store("other", {"v": 2})  # must not raise
+        assert cache.load("other") is None
+        assert cache.load("key") is None
+
+    def test_other_oserrors_propagate(self, tmp_path):
+        class ExplodingIO(FaultyIO):
+            def write_atomic(self, path, data):
+                raise OSError("not enospc")
+
+        cache = DiskCache(str(tmp_path / "cache"),
+                          io=ExplodingIO(EngineFaultPlan()))
+        with pytest.raises(OSError):
+            cache.store("key", {"v": 1})
+        assert not cache.disabled
+
+
+class TestLocking:
+    def test_lock_file_created_on_store(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"))
+        cache.store("key", {"v": 1})
+        assert os.path.exists(
+            os.path.join(cache.root, DiskCache.LOCK_NAME)
+        )
+
+    def test_lock_file_not_an_entry(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "cache"), max_bytes=10_000)
+        cache.store("key", {"v": 1})
+        assert entry_keys(cache) == {"key"}
+
+    def test_two_handles_same_root_interleave(self, tmp_path):
+        a = DiskCache(str(tmp_path / "cache"))
+        b = DiskCache(str(tmp_path / "cache"))
+        a.store("key-a", {"v": 1})
+        b.store("key-b", {"v": 2})
+        assert a.load("key-b") == {"v": 2}
+        assert b.load("key-a") == {"v": 1}

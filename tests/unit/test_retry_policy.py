@@ -1,0 +1,130 @@
+"""Unit tests for the unified retry policy (repro.common.retry)."""
+
+import pytest
+
+from repro.common.retry import RetryPolicy
+
+
+def no_jitter(**overrides):
+    fields = dict(base_seconds=1.0, multiplier=2.0, max_seconds=8.0,
+                  jitter=0.0)
+    fields.update(overrides)
+    return RetryPolicy(**fields)
+
+
+class TestDelay:
+    def test_exponential_progression(self):
+        policy = no_jitter()
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max_seconds(self):
+        policy = no_jitter()
+        assert policy.delay(10) == 8.0
+
+    def test_zero_base_means_no_delay(self):
+        policy = no_jitter(base_seconds=0.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(5) == 0.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            no_jitter().delay(0)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_seconds=1.0, multiplier=1.0,
+                             max_seconds=1.0, jitter=0.25)
+        for attempt in range(1, 50):
+            assert 0.75 <= policy.delay(attempt) <= 1.25
+
+    def test_jitter_deterministic_per_seed(self):
+        a = RetryPolicy(jitter=0.25, seed=7)
+        b = RetryPolicy(jitter=0.25, seed=7)
+        c = RetryPolicy(jitter=0.25, seed=8)
+        delays_a = [a.delay(n) for n in range(1, 6)]
+        assert delays_a == [b.delay(n) for n in range(1, 6)]
+        assert delays_a != [c.delay(n) for n in range(1, 6)]
+
+    def test_jitter_varies_across_attempts(self):
+        policy = RetryPolicy(base_seconds=1.0, multiplier=1.0,
+                             max_seconds=1.0, jitter=0.25)
+        assert len({policy.delay(n) for n in range(1, 10)}) > 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_seconds=-1),
+            dict(multiplier=0.5),
+            dict(max_seconds=-1),
+            dict(jitter=-0.1),
+            dict(jitter=1.0),
+            dict(budget_seconds=0),
+            dict(budget_seconds=-5),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBudget:
+    def test_unbounded_never_exhausts(self):
+        policy = no_jitter()
+        policy.begin()
+        assert policy.remaining() is None
+        assert not policy.exhausted()
+
+    def test_budget_counts_down_on_fake_clock(self):
+        now = [100.0]
+        policy = no_jitter(budget_seconds=10.0, clock=lambda: now[0])
+        policy.begin()
+        assert policy.remaining() == 10.0
+        now[0] += 6.0
+        assert policy.remaining() == 4.0
+        assert not policy.exhausted()
+        now[0] += 5.0
+        assert policy.remaining() == 0.0
+        assert policy.exhausted()
+
+    def test_begin_rearms(self):
+        now = [0.0]
+        policy = no_jitter(budget_seconds=5.0, clock=lambda: now[0])
+        policy.begin()
+        now[0] += 10.0
+        assert policy.exhausted()
+        policy.begin()
+        assert not policy.exhausted()
+
+    def test_pause_sleeps_delay(self):
+        slept = []
+        policy = no_jitter(sleep=slept.append)
+        policy.begin()
+        assert policy.pause(2) is True
+        assert slept == [2.0]
+
+    def test_pause_clamps_to_remaining_budget(self):
+        slept = []
+        now = [0.0]
+        policy = no_jitter(budget_seconds=1.5, sleep=slept.append,
+                           clock=lambda: now[0])
+        policy.begin()
+        assert policy.pause(3) is True  # delay 4.0, clamped to 1.5
+        assert slept == [1.5]
+
+    def test_pause_refuses_once_exhausted(self):
+        slept = []
+        now = [0.0]
+        policy = no_jitter(budget_seconds=1.0, sleep=slept.append,
+                           clock=lambda: now[0])
+        policy.begin()
+        now[0] += 2.0
+        assert policy.pause(1) is False
+        assert slept == []
+
+    def test_pause_skips_zero_delay_sleep(self):
+        slept = []
+        policy = no_jitter(base_seconds=0.0, sleep=slept.append)
+        policy.begin()
+        assert policy.pause(1) is True
+        assert slept == []
