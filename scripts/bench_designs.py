@@ -52,10 +52,11 @@ SCALES = {
 ANNOTATION_KEYS = ("multiword_commits",)
 
 
-def measure_cell(workload, design, scale, engine, journal=None):
+def measure_cell(workload, design, scale, engine, journal=None,
+                 backend="reference"):
     """One workload x design cell: seed-averaged metrics as a dict."""
     config = SimConfig.for_design(
-        design, num_cores=scale["cores"], oracle=True
+        design, num_cores=scale["cores"], oracle=True, backend=backend,
     )
     report = api.simulate(
         workload, config, seeds=scale["seeds"],
@@ -212,6 +213,7 @@ def parse_args(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     cli.add_scale_flag(parser, sorted(SCALES), default="micro")
     cli.add_engine_flags(parser)
+    cli.add_backend_flag(parser)
     cli.add_journal_flags(parser)
     parser.add_argument(
         "--designs", nargs="+", choices=sorted(DESIGN_REGISTRY),
@@ -259,7 +261,8 @@ def main(argv=None):
         row = {}
         for design in designs:
             row[design] = measure_cell(workload, design, scale, engine,
-                                       journal=journal)
+                                       journal=journal,
+                                       backend=args.backend)
         matrix[workload] = row
         print("{:12s} ".format(workload) + "  ".join(
             "{}={:,}".format(design, row[design]["cycles"])
@@ -272,6 +275,7 @@ def main(argv=None):
             "on every workload, oracle-checked, seed-averaged."
         ),
         "scale": args.scale,
+        "backend": args.backend,
         "scale_params": {
             "cores": scale["cores"],
             "ops_per_thread": scale["ops_per_thread"],

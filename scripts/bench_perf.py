@@ -41,7 +41,7 @@ from repro import api, cli
 from repro.cli import argparse
 from repro.htm.design import design_name
 from repro.sim.config import SimConfig
-from repro.sim.machine import Machine
+from repro.sim.machine import build_machine
 from repro.workloads import make_workload
 
 BENCH_PERF_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_PERF.json")
@@ -58,18 +58,41 @@ OPS_PER_THREAD = 16
 SEED = 1
 HEADLINE_CELL = "genome/B/32c"
 
+#: Sentinel for a bare ``--compare`` (diff against the newest point).
+LAST_POINT = "@last"
+
+
+def find_trajectory_point(book, point):
+    """The trajectory point named ``point`` (or the newest for @last)."""
+    trajectory = book.get("trajectory") or []
+    if not trajectory:
+        return None
+    if point == LAST_POINT:
+        return trajectory[-1]
+    for entry in trajectory:
+        if entry["label"] == point:
+            return entry
+    raise SystemExit(
+        "no trajectory point {!r} in BENCH_PERF.json (have: {})".format(
+            point, ", ".join(entry["label"] for entry in trajectory)
+        )
+    )
+
 
 def cell_name(workload, letter, cores):
     return "{}/{}/{}c".format(workload, letter, cores)
 
 
-def measure_cell(workload, letter, cores, ops_per_thread, reps):
+def measure_cell(workload, letter, cores, ops_per_thread, reps,
+                 backend="reference"):
     """Best-of-``reps`` wall time for one cell; returns the cell dict."""
-    config = SimConfig.for_design(design_name(letter), num_cores=cores)
+    config = SimConfig.for_design(
+        design_name(letter), num_cores=cores, backend=backend,
+    )
     best_wall = None
     events = commits = aborts = None
     for _ in range(reps):
-        machine = Machine(
+        machine = build_machine(
             config, make_workload(workload, ops_per_thread=ops_per_thread),
             seed=SEED,
         )
@@ -94,6 +117,7 @@ def measure_cell(workload, letter, cores, ops_per_thread, reps):
         "num_cores": cores,
         "ops_per_thread": ops_per_thread,
         "seed": SEED,
+        "backend": backend,
         "events": events,
         "wall_seconds": round(best_wall, 4),
         "events_per_second": round(events / best_wall, 1),
@@ -102,7 +126,8 @@ def measure_cell(workload, letter, cores, ops_per_thread, reps):
     }
 
 
-def run_measurement(reps, ops_per_thread, cores_override=None, progress=print):
+def run_measurement(reps, ops_per_thread, cores_override=None, progress=print,
+                    backend="reference"):
     cells = {}
     for workload, letter, cores in CELLS:
         if cores_override is not None:
@@ -110,7 +135,8 @@ def run_measurement(reps, ops_per_thread, cores_override=None, progress=print):
         name = cell_name(workload, letter, cores)
         if name in cells:  # cores_override collapses the 8/32 pair
             continue
-        cell = measure_cell(workload, letter, cores, ops_per_thread, reps)
+        cell = measure_cell(workload, letter, cores, ops_per_thread, reps,
+                            backend=backend)
         cells[name] = cell
         progress(
             "{:18s} {:>9,} events  {:7.3f}s  {:>10,.1f} ev/s".format(
@@ -200,9 +226,12 @@ def parse_args(argv):
         "--json", metavar="OUT", default=None,
         help="dump the measurement as JSON (cell schema of BENCH_PERF.json)",
     )
+    cli.add_backend_flag(parser)
     parser.add_argument(
-        "--compare", action="store_true",
-        help="print speedups vs the last trajectory point in BENCH_PERF.json",
+        "--compare", nargs="?", const=LAST_POINT, default=None,
+        metavar="POINT",
+        help="print speedups vs a trajectory point in BENCH_PERF.json "
+             "(by label; bare --compare means the latest point)",
     )
     parser.add_argument(
         "--record", metavar="LABEL", default=None,
@@ -264,23 +293,25 @@ def main(argv=None):
     ops = 4 if micro else OPS_PER_THREAD
     cores = 4 if micro else None
     started = time.time()
-    measurement = run_measurement(args.reps, ops, cores_override=cores)
-    print("measured {} cell(s) in {:.1f}s (best of {} rep(s))".format(
-        len(measurement["cells"]), time.time() - started, args.reps))
+    measurement = run_measurement(args.reps, ops, cores_override=cores,
+                                  backend=args.backend)
+    print("measured {} cell(s) in {:.1f}s (best of {} rep(s), {} backend)"
+          .format(len(measurement["cells"]), time.time() - started,
+                  args.reps, args.backend))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(measurement, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print("wrote {}".format(args.json))
-    if args.compare:
+    if args.compare is not None:
         with open(args.bench_file) as handle:
             book = json.load(handle)
-        if not book["trajectory"]:
+        point = find_trajectory_point(book, args.compare)
+        if point is None:
             print("no trajectory points in {}".format(args.bench_file))
         else:
-            last = book["trajectory"][-1]
-            ratios = speedups(last["after"], measurement["cells"])
-            print("vs trajectory point {!r}:".format(last["label"]))
+            ratios = speedups(point["after"], measurement["cells"])
+            print("vs trajectory point {!r}:".format(point["label"]))
             for name, ratio in sorted(ratios.items()):
                 print("  {:18s} {:5.2f}x".format(name, ratio))
     if args.record:

@@ -77,6 +77,7 @@ def parse_args(argv):
         help="output JSON path (default: .exp_results.json)",
     )
     cli.add_engine_flags(parser)
+    cli.add_backend_flag(parser)
     cli.add_journal_flags(parser)
     cli.add_trace_flags(parser)
     parser.add_argument(
@@ -142,6 +143,9 @@ def main(argv=None):
         )
     if args.oracle:
         settings.config_overrides["oracle"] = True
+    # Always journalled (even for the default) so a resumed sweep can
+    # verify it is continuing with the same event loop.
+    settings.config_overrides["backend"] = args.backend
     if args.debug_conflict_check:
         settings.config_overrides["debug_conflict_check"] = True
     jobs = cli.resolve_jobs(args)

@@ -33,72 +33,167 @@ class TaintedValue:
         self.tainted = bool(tainted)
 
     # -- arithmetic ----------------------------------------------------------
-
-    def _combine(self, other, op):
-        other_value = value_of(other)
-        return TaintedValue(op(self.value, other_value), self.tainted or taint_of(other))
+    # These run once per arithmetic op inside every AR body, which makes
+    # them some of the hottest code in the simulator; each is written
+    # out directly (no shared _combine helper, no lambda per call, no
+    # constructor coercion) because both operand paths provably produce
+    # a plain int value and a plain bool taint.
 
     def __add__(self, other):
-        return self._combine(other, lambda a, b: a + b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value + other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value + int(other)
+            result.tainted = self.tainted
+        return result
 
     def __radd__(self, other):
-        return self._combine(other, lambda a, b: b + a)
+        result = TaintedValue.__new__(TaintedValue)
+        result.value = int(other) + self.value
+        result.tainted = self.tainted
+        return result
 
     def __sub__(self, other):
-        return self._combine(other, lambda a, b: a - b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value - other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value - int(other)
+            result.tainted = self.tainted
+        return result
 
     def __rsub__(self, other):
-        return self._combine(other, lambda a, b: b - a)
+        result = TaintedValue.__new__(TaintedValue)
+        result.value = int(other) - self.value
+        result.tainted = self.tainted
+        return result
 
     def __mul__(self, other):
-        return self._combine(other, lambda a, b: a * b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value * other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value * int(other)
+            result.tainted = self.tainted
+        return result
 
     def __rmul__(self, other):
-        return self._combine(other, lambda a, b: b * a)
+        result = TaintedValue.__new__(TaintedValue)
+        result.value = int(other) * self.value
+        result.tainted = self.tainted
+        return result
 
     def __floordiv__(self, other):
-        return self._combine(other, lambda a, b: a // b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value // other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value // int(other)
+            result.tainted = self.tainted
+        return result
 
     def __mod__(self, other):
-        return self._combine(other, lambda a, b: a % b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value % other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value % int(other)
+            result.tainted = self.tainted
+        return result
 
     def __and__(self, other):
-        return self._combine(other, lambda a, b: a & b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value & other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value & int(other)
+            result.tainted = self.tainted
+        return result
 
     def __or__(self, other):
-        return self._combine(other, lambda a, b: a | b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value | other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value | int(other)
+            result.tainted = self.tainted
+        return result
 
     def __xor__(self, other):
-        return self._combine(other, lambda a, b: a ^ b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value ^ other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value ^ int(other)
+            result.tainted = self.tainted
+        return result
 
     def __rshift__(self, other):
-        return self._combine(other, lambda a, b: a >> b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value >> other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value >> int(other)
+            result.tainted = self.tainted
+        return result
 
     def __lshift__(self, other):
-        return self._combine(other, lambda a, b: a << b)
+        result = TaintedValue.__new__(TaintedValue)
+        if other.__class__ is TaintedValue:
+            result.value = self.value << other.value
+            result.tainted = self.tainted or other.tainted
+        else:
+            result.value = self.value << int(other)
+            result.tainted = self.tainted
+        return result
 
     def __neg__(self):
-        return TaintedValue(-self.value, self.tainted)
+        result = TaintedValue.__new__(TaintedValue)
+        result.value = -self.value
+        result.tainted = self.tainted
+        return result
 
     # -- comparisons (plain bools; branch taint is handled via Branch ops) ---
 
     def __eq__(self, other):
-        return self.value == value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value == other.value
+        return self.value == int(other)
 
     def __ne__(self, other):
-        return self.value != value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value != other.value
+        return self.value != int(other)
 
     def __lt__(self, other):
-        return self.value < value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value < other.value
+        return self.value < int(other)
 
     def __le__(self, other):
-        return self.value <= value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value <= other.value
+        return self.value <= int(other)
 
     def __gt__(self, other):
-        return self.value > value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value > other.value
+        return self.value > int(other)
 
     def __ge__(self, other):
-        return self.value >= value_of(other)
+        if other.__class__ is TaintedValue:
+            return self.value >= other.value
+        return self.value >= int(other)
 
     def __hash__(self):
         return hash(self.value)

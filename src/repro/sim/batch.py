@@ -1,0 +1,653 @@
+"""Batched calendar-queue simulation backend (``backend="batch"``).
+
+:class:`BatchMachine` replaces the reference event loop's one-event
+heap pops with a bucketed calendar queue — a ``{cycle: [cores]}`` map
+plus a heap of distinct cycles — that batch-advances every core
+runnable at the same cycle, and fuses the dominant executor step (a
+speculative HTM BODY operation on plain tracking sets) into a single
+closure over struct-of-arrays state tables instead of the reference's
+~40-call object walk.
+
+Equivalence with :class:`~repro.sim.machine.Machine` is exact, not
+statistical, and rests on two properties:
+
+* **Order.** Stepping a core never makes any core runnable at the
+  *same* cycle: ``STEP_DELAY`` payloads are clamped to >= 1 and lock
+  release wakeups land at ``now + 1``. The reference heap therefore
+  drains each cycle's cores in ascending core order before touching the
+  next cycle, which is exactly a sorted bucket. Release wakeups are
+  processed after *each* core's step (not once per bucket), so
+  park/wake interleavings within a cycle match pop-for-pop.
+* **State.** The fused fast path replicates the reference semantics of
+  ``CoreExecutor._step_body``/``_exec_memory_op`` line for line, and
+  every precondition it cannot prove cheaply (pending abort, non-HTM
+  speculation, CL modes, bounded ``lrw`` tracking sets, cache misses,
+  foreign sharers) delegates to the shared executor methods — the same
+  bytecode the reference backend runs.
+
+Hook degradation: per-event hooks observe individual pops, so when any
+of them is armed — trace sink, runtime oracle, livelock watchdog,
+fault plan, verify scheduler, retry ledger, or the conflict
+cross-check — :meth:`BatchMachine.run` simply runs the inherited
+reference loop. Backend selection is then a pure performance choice;
+it can never change semantics or observability.
+
+The per-core busy-cycle accumulator is a flat ``array("q")`` flushed
+into :class:`~repro.sim.stats.MachineStats` when the run leaves the
+loop (including via a stall error); set ``REPRO_BATCH_NUMPY=1`` with
+the ``[perf]`` extra installed to hold it in a numpy int64 vector
+instead (identical results; only interesting on very wide machines).
+"""
+
+import heapq
+import os
+from array import array
+
+from repro.common.constants import WORDS_PER_LINE
+from repro.common.errors import (
+    CycleLimitExceeded,
+    DeadlockError,
+    SimulationError,
+)
+from repro.core.indirection import TaintedValue
+from repro.core.modes import ExecMode
+from repro.htm.abort import AbortReason
+from repro.htm.rwset import CapacityExceeded, ReadWriteSets
+from repro.htm.sharer_index import LineSharers
+from repro.memory.directory import DirectoryEntry
+from repro.sim.executor import (
+    BEGIN_WAIT,
+    BODY,
+    MAX_OPS_PER_ATTEMPT,
+    STEP_BLOCK,
+    STEP_DELAY,
+    STEP_DONE,
+)
+from repro.sim.machine import Machine
+from repro.sim.program import AbortOp, Branch, Compute, Load, Store
+
+try:  # The [perf] extra; the plain-array path needs nothing.
+    import numpy
+except ImportError:  # pragma: no cover - numpy is usually present
+    numpy = None
+
+
+def _busy_accumulator(num_cores):
+    """Struct-of-arrays busy-cycle accumulator (one slot per core)."""
+    if numpy is not None and os.environ.get("REPRO_BATCH_NUMPY"):
+        return numpy.zeros(num_cores, dtype=numpy.int64)
+    return array("q", [0]) * num_cores
+
+
+class BatchMachine(Machine):
+    """Calendar-queue backend; bit-identical to the reference loop."""
+
+    def run(self):
+        if self._needs_reference_loop():
+            return super().run()
+        return self._run_batched()
+
+    def _needs_reference_loop(self):
+        """True when an armed per-event hook demands the reference loop."""
+        return (
+            self.scheduler is not None
+            or self.trace is not None
+            or self.retry_ledger is not None
+            or self.oracle is not None
+            or self.faults is not None
+            or self.config.watchdog_cycles > 0
+            or self._debug_conflict_check
+        )
+
+    def _run_batched(self):
+        config = self.config
+        executors = self.executors
+        stats = self.stats
+        design = self.design
+        memsys = self.memsys
+        max_cycles = config.max_cycles
+        num_cores = config.num_cores
+
+        # -- struct-of-arrays state tables --------------------------------
+        # Per-core columns fetched by index in the fused path, replacing
+        # the reference's attribute chains (machine -> memsys -> cache
+        # list -> cache -> sets) with one list lookup each.
+        step_for = [executor.step for executor in executors]
+        l1_sets_by_core = [cache._sets for cache in memsys.l1]
+        l2_sets_by_core = [cache._sets for cache in memsys.l2]
+        l2_install_by_core = [cache.install for cache in memsys.l2]
+        l1_nsets = memsys.l1[0].num_sets
+        l2_nsets = memsys.l2[0].num_sets
+        l3_sets = memsys.l3._sets
+        l3_nsets = memsys.l3.num_sets
+        l3_install = memsys.l3.install
+        l1_latency = memsys.l1_latency
+        drop_private = memsys._drop_private_line
+        mem_read = memsys._read
+        mem_write = memsys._write
+        lock_holders = memsys.locks._holders
+        directory_entries = memsys.directory._entries
+        sharer_index = self.sharer_index
+        sharer_lines = sharer_index._lines
+        arbiter_resolve_line = self.arbiter.resolve_line
+        power = self.power
+        memory = self.memory
+        mem_words = memory._words
+        accesses = stats.accesses_by_level
+        compute_ops = stats._compute_ops
+        branch_ops = stats._branch_ops
+        stats_cores = stats.cores
+        busy_soa = _busy_accumulator(num_cores)
+        tv_new = TaintedValue.__new__
+
+        speculative = ExecMode.SPECULATIVE
+        fallback_mode = ExecMode.FALLBACK
+        nacked = AbortReason.NACKED
+        # The fused path replicates the HTM ("out-of-core") _step_body;
+        # SLE runs the shared executor methods under the batched queue.
+        fuse = config.speculation == "htm"
+
+        def capacity_abort(ex, which, line):
+            # The reference raises CapacityExceeded out of the record_*
+            # call *after* tracking the line; the fused path reaches
+            # here in the same state, so only the handler remains.
+            exc = CapacityExceeded(which, line)
+            if ex.discovery is not None:
+                entry = ex.controller.ert.ensure(ex.invocation.region_id)
+                entry.is_convertible = False
+            return ex._abort_attempt(
+                design.classify_capacity_abort(executor=ex, exc=exc),
+                line=line,
+            )
+
+        def fast_body(ex):
+            """Fused CoreExecutor._step_body for the dominant case.
+
+            Preconditions proved before any state is touched; every
+            deviation delegates to the shared (reference) methods.
+            Returns a plain int (the STEP_DELAY payload, by far the
+            common outcome — the caller schedules it without a tuple
+            round-trip) or the delegated (kind, payload) tuple.
+            """
+            if ex.pending_abort is not None or ex._fault_abort_at is not None:
+                return ex._step_body()
+            attempt_ops = ex.attempt_ops + 1
+            ex.attempt_ops = attempt_ops
+            if attempt_ops > MAX_OPS_PER_ATTEMPT:
+                return ex._abort_attempt(AbortReason.OTHER)
+            try:
+                op = ex.gen.send(ex.gen_send_value)
+            except StopIteration:
+                return ex._region_end()
+            ex.gen_send_value = None
+            cls = op.__class__
+            if cls is Load or cls is Store:
+                is_store = cls is Store
+                rwsets = ex.rwsets
+                if (
+                    ex.mode is speculative
+                    and rwsets.__class__ is ReadWriteSets
+                    and rwsets._index is sharer_index
+                    and not ex.locked_lines
+                ):
+                    spec = True
+                elif (
+                    ex.mode is fallback_mode
+                    and rwsets is None
+                    and ex.discovery is None
+                    and not ex.locked_lines
+                    and not lock_holders
+                ):
+                    # Fallback runs under mutual exclusion with direct
+                    # stores: no lock gate (table empty), no
+                    # arbitration, no tracking sets — only the memory
+                    # system and architectural movement remain.
+                    spec = False
+                else:
+                    # CL/failed modes, bounded (lrw) tracking sets,
+                    # zombies: the reference hot path handles all of
+                    # these; attempt_ops is already charged.
+                    return ex._exec_memory_op(op, is_store=is_store)
+                core = ex.core
+                addr = op.addr
+                addr_is_tv = addr.__class__ is TaintedValue
+                word_addr = addr.value if addr_is_tv else int(addr)
+                line = word_addr // WORDS_PER_LINE
+                if is_store:
+                    ex.attempt_stores += 1
+                else:
+                    ex.attempt_loads += 1
+
+                if spec:
+                    # Cacheline lock gate (speculative attempts hold no
+                    # locks themselves, so the table probe decides
+                    # alone; speculative requesters are always
+                    # nackable). Designs without CL modes never
+                    # populate the table.
+                    if lock_holders:
+                        holder = lock_holders.get(line)
+                        if holder is not None and holder != core:
+                            return ex._abort_attempt(
+                                nacked, line=line, enemy=holder
+                            )
+
+                    # Conflict arbitration via the sharer index. The
+                    # full resolver only runs when some *other* core
+                    # tracks the line — the self-only case is
+                    # NO_CONFLICT by construction
+                    # (conflicting.discard(requester) empties the set)
+                    # and is the overwhelmingly common one.
+                    sharers = sharer_lines.get(line)
+                    if sharers is not None:
+                        writers = sharers.writers
+                        if is_store:
+                            readers = sharers.readers
+                            foreign = (
+                                (writers and (len(writers) > 1
+                                              or core not in writers))
+                                or (readers and (len(readers) > 1
+                                                 or core not in readers))
+                            )
+                        else:
+                            foreign = writers and (len(writers) > 1
+                                                   or core not in writers)
+                        if foreign:
+                            resolution = arbiter_resolve_line(
+                                core, line, is_store, False, sharers,
+                                power_core=power.holder,
+                            )
+                            reason = resolution.requester_abort_reason
+                            if reason is not None:
+                                return ex._abort_attempt(
+                                    reason, line=line,
+                                    enemy=resolution.nacking_core,
+                                )
+                            for victim in resolution.victims:
+                                executors[victim].receive_remote_conflict(
+                                    line, is_store, core
+                                )
+
+                # Memory system: fused private-hit classification +
+                # directory transition + LRU fill; anything that needs
+                # the full model (misses, upgrades, invalidation
+                # rounds, C2C sourcing) runs the reference _read/_write.
+                l1_entries = l1_sets_by_core[core][line % l1_nsets]
+                in_l1 = line in l1_entries
+                dentry = directory_entries.get(line)
+                fused_fill = False
+                if is_store:
+                    if in_l1 and dentry is not None:
+                        owner = dentry.owner
+                        dsharers = dentry.sharers
+                        if (owner == core and not dsharers) or (
+                            owner is None
+                            and len(dsharers) == 1
+                            and core in dsharers
+                        ):
+                            # Private re-write: exclusive (or sole
+                            # shared) copy in our L1 — record_write
+                            # invalidates nobody and C2C cannot apply.
+                            if dsharers:
+                                dsharers.clear()
+                            dentry.owner = core
+                            latency = l1_latency
+                            accesses["L1"] += 1
+                            fused_fill = True
+                    if not fused_fill:
+                        result = mem_write(core, line)
+                        accesses[result.level] += 1
+                        latency = result.latency
+                else:
+                    if in_l1:
+                        # L1 read hit: level is L1 whatever the
+                        # directory says (C2C only upgrades L3/MEM), so
+                        # only the record_read transition remains.
+                        if dentry is None:
+                            dentry = DirectoryEntry()
+                            directory_entries[line] = dentry
+                        else:
+                            owner = dentry.owner
+                            if owner is not None and owner != core:
+                                dentry.sharers.add(owner)
+                                dentry.owner = None
+                        dentry.sharers.add(core)
+                        latency = l1_latency
+                        accesses["L1"] += 1
+                        fused_fill = True
+                    else:
+                        result = mem_read(core, line)
+                        accesses[result.level] += 1
+                        latency = result.latency
+                if fused_fill:
+                    # memsys._fill with every install expanded to its
+                    # hit path (LRU move_to_end); a non-resident level
+                    # falls back to the real install/evict machinery.
+                    e3 = l3_sets[line % l3_nsets]
+                    if line in e3:
+                        e3.move_to_end(line)
+                    else:
+                        l3_install(line)
+                    e2 = l2_sets_by_core[core][line % l2_nsets]
+                    if line in e2:
+                        e2.move_to_end(line)
+                    else:
+                        l2_evicted = l2_install_by_core[core](line)
+                        if l2_evicted is not None:
+                            drop_private(core, l2_evicted)
+                    l1_entries.move_to_end(line)
+
+                if not spec:
+                    # Fallback architectural movement: stores go
+                    # straight to memory (memory.store/load expanded;
+                    # no write buffer exists to probe).
+                    if is_store:
+                        value = op.value
+                        memory.store_count += 1
+                        mem_words[word_addr] = (
+                            value.value if value.__class__ is TaintedValue
+                            else int(value)
+                        )
+                    else:
+                        memory.load_count += 1
+                        loaded = tv_new(TaintedValue)
+                        loaded.value = mem_words.get(word_addr, 0)
+                        loaded.tainted = True
+                        ex.gen_send_value = loaded
+                    busy_soa[core] += latency
+                    return latency
+
+                # Speculative set tracking / capacity — the reference
+                # record_write/record_read bodies with the sharer-index
+                # registration expanded inline.
+                if is_store:
+                    write_set = rwsets.write_set
+                    if line not in write_set:
+                        write_set.add(line)
+                        entry = sharer_lines.get(line)
+                        if entry is None:
+                            entry = LineSharers()
+                            sharer_lines[line] = entry
+                        entry.writers.add(core)
+                        l2_geom = rwsets._l2_sets
+                        if l2_geom is not None and line not in rwsets.read_set:
+                            counts = rwsets._union_counts
+                            idx = line % l2_geom
+                            count = counts.get(idx, 0) + 1
+                            counts[idx] = count
+                            if count == rwsets._l2_assoc + 1:
+                                rwsets._union_over += 1
+                        l1_geom = rwsets._l1_sets
+                        if l1_geom is not None:
+                            counts = rwsets._write_counts
+                            idx = line % l1_geom
+                            count = counts.get(idx, 0) + 1
+                            counts[idx] = count
+                            if count == rwsets._l1_assoc + 1:
+                                rwsets._write_over += 1
+                            if rwsets._write_over:
+                                return capacity_abort(ex, "write", line)
+                else:
+                    read_set = rwsets.read_set
+                    if line not in read_set:
+                        read_set.add(line)
+                        entry = sharer_lines.get(line)
+                        if entry is None:
+                            entry = LineSharers()
+                            sharer_lines[line] = entry
+                        entry.readers.add(core)
+                        l2_geom = rwsets._l2_sets
+                        if l2_geom is not None:
+                            if line not in rwsets.write_set:
+                                counts = rwsets._union_counts
+                                idx = line % l2_geom
+                                count = counts.get(idx, 0) + 1
+                                counts[idx] = count
+                                if count == rwsets._l2_assoc + 1:
+                                    rwsets._union_over += 1
+                            if rwsets._union_over:
+                                return capacity_abort(ex, "read", line)
+
+                # Discovery footprint tracking (CLEAR designs). Mode is
+                # SPECULATIVE here, so the failed-discovery exhaustion
+                # check of the reference path cannot trigger.
+                discovery = ex.discovery
+                if discovery is not None:
+                    tainted = addr_is_tv and addr.tainted
+                    if is_store:
+                        discovery.on_store(line, tainted)
+                    else:
+                        discovery.on_load(line, tainted)
+
+                # Architectural data movement + busy accounting.
+                if is_store:
+                    value = op.value
+                    rwsets._write_buffer[word_addr] = (
+                        value.value if value.__class__ is TaintedValue
+                        else int(value)
+                    )
+                else:
+                    buffered = rwsets._write_buffer
+                    value = buffered.get(word_addr) if buffered else None
+                    if value is None:
+                        memory.load_count += 1
+                        value = mem_words.get(word_addr, 0)
+                    # TaintedValue(value, tainted=True) without the
+                    # constructor's int()/bool() coercions — buffered
+                    # and architectural words are always plain ints.
+                    loaded = tv_new(TaintedValue)
+                    loaded.value = value
+                    loaded.tainted = True
+                    ex.gen_send_value = loaded
+                busy_soa[core] += latency
+                return latency
+            if cls is Compute:
+                discovery = ex.discovery
+                if discovery is not None:
+                    discovery.on_compute(op.ops)
+                compute_ops.value += op.ops
+                cycles = op.cycles
+                if cycles < 1:
+                    cycles = 1
+                busy_soa[ex.core] += cycles
+                return cycles
+            if cls is Branch:
+                discovery = ex.discovery
+                if discovery is not None:
+                    condition = op.condition
+                    discovery.on_branch(
+                        condition.__class__ is TaintedValue
+                        and condition.tainted
+                    )
+                branch_ops.value += 1
+                busy_soa[ex.core] += 1
+                return 1
+            # Rare ops and op subclasses: the reference dispatch tail.
+            if isinstance(op, Load):
+                return ex._exec_memory_op(op, is_store=False)
+            if isinstance(op, Store):
+                return ex._exec_memory_op(op, is_store=True)
+            if isinstance(op, Compute):
+                if ex.discovery is not None:
+                    ex.discovery.on_compute(op.ops)
+                stats.record_compute(op.ops)
+                return ex._busy(max(1, op.cycles))
+            if isinstance(op, Branch):
+                if ex.discovery is not None:
+                    ex.discovery.on_branch(op.condition_tainted)
+                stats.record_branch()
+                return ex._busy(1)
+            if isinstance(op, AbortOp):
+                if ex.mode is ExecMode.FALLBACK:
+                    return ex._commit(via_abort=True)
+                return ex._abort_attempt(AbortReason.EXPLICIT)
+            raise TypeError("AR body yielded unknown op {!r}".format(op))
+
+        # -- the calendar queue -------------------------------------------
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        fallback_write_held = self.fallback.is_write_held
+        times = [0]
+        buckets = {0: list(range(num_cores))}
+        parked = {}
+        now = 0
+        events = 0
+        self.event_count = 0
+
+        def cycle_limit_exceeded(now):
+            # Same exception the reference loop raises when it pops an
+            # event past the budget (the event itself is not counted).
+            stats.truncated = True
+            stats.makespan_cycles = max(stats.makespan_cycles, now)
+            return CycleLimitExceeded(
+                "cycle limit {} exceeded with the workload unfinished "
+                "({} of {} cores done)".format(
+                    max_cycles,
+                    sum(1 for ex in executors
+                        if ex.finish_time is not None),
+                    num_cores,
+                ),
+                diagnostic=self.diagnostic_dump(now, parked),
+                stats=stats,
+            )
+
+        try:
+            while times:
+                now = heappop(times)
+                bucket = buckets.pop(now)
+                self.now = now
+                if now > max_cycles:
+                    raise cycle_limit_exceeded(now)
+                if len(bucket) > 1:
+                    # Heap order is (cycle, core): within one cycle the
+                    # reference drains cores ascending.
+                    bucket.sort()
+                elif not times:
+                    # Lone runner: every other core is parked or done,
+                    # so until this core parks, finishes, or releases
+                    # something, each pop would return it right back.
+                    # Step it in place, advancing ``now`` directly and
+                    # touching neither the heap nor the bucket map.
+                    core = bucket[0]
+                    ex = executors[core]
+                    while True:
+                        events += 1
+                        if fuse and ex.phase == BODY:
+                            result = fast_body(ex)
+                            if result.__class__ is int:
+                                now += result if result > 1 else 1
+                                if now > max_cycles:
+                                    raise cycle_limit_exceeded(now)
+                                self.now = now
+                                continue
+                            kind, payload = result
+                        else:
+                            kind, payload = step_for[core](now)
+                        if kind == STEP_DELAY:
+                            wake = now + (payload if payload > 1 else 1)
+                            buckets[wake] = [core]
+                            heappush(times, wake)
+                        elif kind == STEP_BLOCK:
+                            parked[core] = now
+                        elif kind != STEP_DONE:
+                            raise SimulationError(
+                                "unknown step result {!r}".format(kind)
+                            )
+                        if self._release_pending:
+                            self._release_pending = False
+                            if parked:
+                                wake = now + 1
+                                queued = buckets.get(wake)
+                                if queued is None:
+                                    queued = buckets[wake] = []
+                                    heappush(times, wake)
+                                for parked_core, park_time in parked.items():
+                                    stats_cores[parked_core].wait_cycles += (
+                                        now - park_time
+                                    )
+                                    queued.append(parked_core)
+                                parked.clear()
+                        break
+                    continue
+                for core in bucket:
+                    events += 1
+                    ex = executors[core]
+                    phase = ex.phase
+                    if fuse and phase == BODY:
+                        result = fast_body(ex)
+                        if result.__class__ is int:
+                            # Fused STEP_DELAY: schedule without the
+                            # tuple round-trip. A fused op never parks
+                            # and never releases anything, so the
+                            # release check is skipped too.
+                            wake = now + (result if result > 1 else 1)
+                            queued = buckets.get(wake)
+                            if queued is None:
+                                buckets[wake] = [core]
+                                heappush(times, wake)
+                            else:
+                                queued.append(core)
+                            continue
+                        kind, payload = result
+                    elif phase == BEGIN_WAIT and fallback_write_held():
+                        # Fused _step_begin_wait re-park: the dominant
+                        # event under fallback serialization (every
+                        # release wakes all waiters; the losers re-park
+                        # here). Parking releases nothing.
+                        parked[core] = now
+                        continue
+                    else:
+                        kind, payload = step_for[core](now)
+                    if kind == STEP_DELAY:
+                        wake = now + (payload if payload > 1 else 1)
+                        queued = buckets.get(wake)
+                        if queued is None:
+                            buckets[wake] = [core]
+                            heappush(times, wake)
+                        else:
+                            queued.append(core)
+                    elif kind == STEP_BLOCK:
+                        parked[core] = now
+                    elif kind != STEP_DONE:
+                        raise SimulationError(
+                            "unknown step result {!r}".format(kind)
+                        )
+                    if self._release_pending:
+                        # Processed per step, not per bucket: a core
+                        # parked later in this same bucket must not be
+                        # woken by an earlier release.
+                        self._release_pending = False
+                        if parked:
+                            wake = now + 1
+                            queued = buckets.get(wake)
+                            if queued is None:
+                                queued = buckets[wake] = []
+                                heappush(times, wake)
+                            for parked_core, park_time in parked.items():
+                                stats_cores[parked_core].wait_cycles += (
+                                    now - park_time
+                                )
+                                queued.append(parked_core)
+                            parked.clear()
+        finally:
+            self.event_count = events
+            for core in range(num_cores):
+                busy = busy_soa[core]
+                if busy:
+                    stats_cores[core].busy_cycles += int(busy)
+        if parked:
+            raise DeadlockError(
+                "deadlock: cores {} parked with no runnable core to release "
+                "what they wait on".format(sorted(parked)),
+                diagnostic=self.diagnostic_dump(now, parked),
+                stats=stats,
+            )
+        finish_times = [
+            executor.finish_time
+            for executor in executors
+            if executor.finish_time is not None
+        ]
+        stats.makespan_cycles = max(finish_times) if finish_times else now
+        annotations = design.stat_annotations(machine=self)
+        if annotations:
+            stats.design_annotations = dict(annotations)
+        return stats

@@ -297,6 +297,9 @@ class Machine:
         validate_interval = oracle.validate_interval if oracle is not None else 0
         # Hot loop: bind everything touched per pop to locals.
         executors = self.executors
+        # One bound method per core, fetched by index: saves an
+        # attribute lookup + method bind on every pop.
+        step_for = [executor.step for executor in executors]
         stats = self.stats
         scheduler = self.scheduler
         max_cycles = config.max_cycles
@@ -360,7 +363,7 @@ class Machine:
                         diagnostic=self.diagnostic_dump(now, parked),
                         stats=stats,
                     )
-            kind, payload = executors[core].step(now)
+            kind, payload = step_for[core](now)
             if kind == STEP_DELAY:
                 heappush(heap, (now + (payload if payload > 1 else 1), core))
             elif kind == STEP_BLOCK:
@@ -372,16 +375,23 @@ class Machine:
                 raise SimulationError("unknown step result {!r}".format(kind))
             if self._release_pending:
                 self._release_pending = False
-                for parked_core, park_time in parked.items():
-                    stats.add_wait(parked_core, max(0, now - park_time))
-                    wake = max(park_time, now) + 1
-                    if faults is not None:
-                        wake += faults.wakeup_delay(parked_core)
-                    if trace is not None:
-                        trace.emit(Wakeup(
-                            now, parked_core, max(0, now - park_time)
-                        ))
-                    heappush(heap, (wake, parked_core))
+                if faults is None and trace is None:
+                    # Hook-free wakeup: the common case, with the
+                    # None-checks hoisted out of the loop.
+                    for parked_core, park_time in parked.items():
+                        stats.add_wait(parked_core, max(0, now - park_time))
+                        heappush(heap, (max(park_time, now) + 1, parked_core))
+                else:
+                    for parked_core, park_time in parked.items():
+                        stats.add_wait(parked_core, max(0, now - park_time))
+                        wake = max(park_time, now) + 1
+                        if faults is not None:
+                            wake += faults.wakeup_delay(parked_core)
+                        if trace is not None:
+                            trace.emit(Wakeup(
+                                now, parked_core, max(0, now - park_time)
+                            ))
+                        heappush(heap, (wake, parked_core))
                 parked.clear()
         self.event_count = events
         if parked:
@@ -463,3 +473,23 @@ class Machine:
                 self.faults.injected_abort_count() if self.faults is not None else 0
             ),
         }
+
+
+def build_machine(config, workload, seed=1, trace=None, scheduler=None,
+                  retry_ledger=None):
+    """Construct the machine class selected by ``config.backend``.
+
+    ``"reference"`` builds the :class:`Machine` above (the semantic
+    oracle); ``"batch"`` builds :class:`repro.sim.batch.BatchMachine`,
+    a bit-identical calendar-queue backend that degrades to the
+    reference loop whenever a per-event hook is armed. The import is
+    lazy because the batch backend subclasses :class:`Machine`.
+    """
+    if config.backend == "batch":
+        from repro.sim.batch import BatchMachine
+
+        cls = BatchMachine
+    else:
+        cls = Machine
+    return cls(config, workload, seed, trace=trace, scheduler=scheduler,
+               retry_ledger=retry_ledger)

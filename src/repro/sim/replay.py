@@ -13,8 +13,8 @@ Stores are buffered locally (reads see them), so a replay never touches
 architectural memory unless ``commit=True``.
 """
 
+from repro.common.constants import WORDS_PER_LINE
 from repro.core.indirection import TaintedValue
-from repro.memory.address import line_of_word
 from repro.sim.program import AbortOp, Branch, Compute, Load, Store
 
 
@@ -54,34 +54,64 @@ def replay_body(body_factory, memory, commit=False, stop_on_abort=False):
     loads = 0
     stores = 0
     gen = body_factory()
+    send = gen.send
     send_value = None
+    # Replays run complete bodies op-by-op with zero simulated time, so
+    # they are pure interpreter overhead; the loop dispatches on exact
+    # class and strips taint inline instead of going through the
+    # word_addr/addr_tainted properties (value_of/taint_of per op).
+    add_line = footprint.add
+    words = memory._words
+    tv = TaintedValue
+    tv_new = TaintedValue.__new__
     while True:
         try:
-            op = gen.send(send_value)
+            op = send(send_value)
         except StopIteration:
             break
         send_value = None
-        if isinstance(op, Load):
-            footprint.add(line_of_word(op.word_addr))
-            indirection_seen = indirection_seen or op.addr_tainted
-            loads += 1
-            if op.word_addr in buffered:
-                raw = buffered[op.word_addr]
+        kind = op.__class__
+        if kind is Load:
+            addr = op.addr
+            if addr.__class__ is tv:
+                word_addr = addr.value
+                indirection_seen = indirection_seen or addr.tainted
             else:
-                raw = memory.peek(op.word_addr)
-            send_value = TaintedValue(raw, tainted=True)
-        elif isinstance(op, Store):
-            footprint.add(line_of_word(op.word_addr))
-            indirection_seen = indirection_seen or op.addr_tainted
+                word_addr = int(addr)
+            add_line(word_addr // WORDS_PER_LINE)
+            loads += 1
+            # Buffered values are plain ints (taint stripped on store),
+            # so None means "not buffered" — no second membership probe.
+            raw = buffered.get(word_addr)
+            if raw is None:
+                raw = words.get(word_addr, 0)
+            send_value = value = tv_new(tv)
+            value.value = raw
+            value.tainted = True
+        elif kind is Store:
+            addr = op.addr
+            if addr.__class__ is tv:
+                word_addr = addr.value
+                indirection_seen = indirection_seen or addr.tainted
+            else:
+                word_addr = int(addr)
+            add_line(word_addr // WORDS_PER_LINE)
             stores += 1
-            buffered[op.word_addr] = op.store_value
-        elif isinstance(op, Branch):
-            indirection_seen = indirection_seen or op.condition_tainted
-        elif isinstance(op, AbortOp):
+            stored = op.value
+            buffered[word_addr] = (
+                stored.value if stored.__class__ is tv else int(stored)
+            )
+        elif kind is Branch:
+            if not indirection_seen:
+                condition = op.condition
+                indirection_seen = (
+                    condition.__class__ is tv and condition.tainted
+                )
+        elif kind is AbortOp:
             if stop_on_abort:
                 gen.close()
                 break
-        elif isinstance(op, Compute):
+        elif kind is Compute:
             pass
         else:
             raise TypeError("unknown op {!r}".format(op))

@@ -18,7 +18,7 @@ from repro.core.modes import ExecMode
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.obs.trace import EventTrace
 from repro.sim.config import SimConfig
-from repro.sim.machine import Machine
+from repro.sim.machine import build_machine
 from repro.sim.stats import MachineStats
 
 
@@ -216,7 +216,7 @@ def _simulate_one(workload_factory, config, *, seed=1, energy_model=None,
     the returned result.
     """
     workload = workload_factory()
-    machine = Machine(config, workload, seed, trace=trace)
+    machine = build_machine(config, workload, seed, trace=trace)
     stats = machine.run()
     model = energy_model or EnergyModel()
     energy = model.evaluate(stats)

@@ -1,0 +1,260 @@
+"""Batch backend equivalence: the calendar-queue loop is bit-identical.
+
+``backend="batch"`` (:class:`repro.sim.batch.BatchMachine`) must be an
+observationally invisible substitute for the reference heap loop —
+identical stats, event counts, and final architectural memory, run for
+run, on every registered design. Evidence layers:
+
+1. pairwise differentials: every registered design (the paper's four
+   plus ``lrw``/``bigatomics``) runs representative workloads on both
+   backends; stats JSON, ``event_count``, and ``memory.snapshot()``
+   must match exactly — and, in the slow profile, the full 19-workload
+   x all-designs grid does the same;
+2. the full micro experiment matrix run with ``backend="batch"``
+   produces figure JSON equal to the committed reference golden
+   (``tests/goldens/figures_micro.json``) — the same file the reference
+   backend is pinned against in ``test_conflict_equivalence``;
+3. hook degradation: with a per-event hook armed (trace, scheduler,
+   oracle, faults, watchdog, conflict cross-check) the batch machine
+   must *not* enter the fused loop — it runs the reference loop and
+   still matches the reference machine byte for byte;
+4. selection plumbing: ``build_machine`` picks the class from
+   ``config.backend``, invalid backends are rejected at config
+   construction, and the backend is part of the cache fingerprint so
+   the two loops can never share cache entries (they only ever disagree
+   if one of them is buggy — but then the cache must not mask it).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.htm.design import DESIGN_REGISTRY
+from repro.obs.trace import EventTrace
+from repro.sim.batch import BatchMachine
+from repro.sim.config import BACKENDS, SimConfig
+from repro.sim.machine import Machine, build_machine
+from repro.workloads import ALL_NAMES, make_workload
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "goldens", "figures_micro.json"
+)
+
+ALL_DESIGNS = sorted(DESIGN_REGISTRY)
+
+#: Fast-profile differential workloads: one data structure, one STAMP
+#: application, one high-contention pattern.
+SMOKE_WORKLOADS = ("hashmap", "genome", "mwobject")
+
+
+def run_digest(machine):
+    """Everything observable about one finished run, comparably encoded."""
+    stats = machine.run()
+    return {
+        "stats": json.dumps(stats.to_dict(), sort_keys=True),
+        "events": machine.event_count,
+        "memory": sorted(machine.memory.snapshot().items()),
+    }
+
+
+def both_backends(design, workload, seed=1, ops_per_thread=6, num_cores=4,
+                  **overrides):
+    """(reference digest, batch digest) for one cell."""
+    digests = []
+    for backend in ("reference", "batch"):
+        config = SimConfig.for_design(
+            design, num_cores=num_cores, backend=backend, **overrides
+        )
+        machine = build_machine(
+            config, make_workload(workload, ops_per_thread=ops_per_thread),
+            seed=seed,
+        )
+        digests.append(run_digest(machine))
+    return digests
+
+
+class TestBackendSelection:
+    def test_build_machine_picks_batch(self):
+        config = SimConfig(num_cores=2, backend="batch")
+        machine = build_machine(config, make_workload("mwobject", ops_per_thread=2))
+        assert type(machine) is BatchMachine
+
+    def test_build_machine_default_is_reference(self):
+        config = SimConfig(num_cores=2)
+        machine = build_machine(config, make_workload("mwobject", ops_per_thread=2))
+        assert type(machine) is Machine
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(num_cores=2, backend="bogus")
+
+    def test_backend_registry_names(self):
+        assert BACKENDS == ("reference", "batch")
+
+    def test_backend_keys_the_cache_fingerprint(self):
+        # Same simulation inputs, different event loop: the two must
+        # never share cache entries, or a divergence bug in one loop
+        # could be served from the other's cached result.
+        reference = SimConfig(num_cores=4)
+        batch = SimConfig(num_cores=4, backend="batch")
+        assert reference.fingerprint() != batch.fingerprint()
+
+    def test_backend_round_trips_through_dict(self):
+        config = SimConfig(num_cores=4, backend="batch")
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+
+class TestPairwiseDifferential:
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    @pytest.mark.parametrize("workload", SMOKE_WORKLOADS)
+    def test_designs_match_on_smoke_workloads(self, design, workload):
+        reference, batch = both_backends(design, workload)
+        assert batch == reference
+
+    def test_single_retry_threshold_matches(self):
+        # The paper's bounded-retry point (threshold 1) stresses the
+        # abort/fallback machinery the fused loop must delegate for.
+        reference, batch = both_backends(
+            "baseline", "mwobject", retry_threshold=1
+        )
+        assert batch == reference
+
+    def test_sle_speculation_matches(self):
+        reference, batch = both_backends(
+            "clear", "genome", speculation="sle"
+        )
+        assert batch == reference
+
+    def test_truncation_matches(self):
+        # Cycle-limit truncation must fire at the same event on both
+        # loops (the lone-runner fast path checks max_cycles before
+        # counting each event, exactly like the reference loop), with
+        # the same exception message and the same truncated stats.
+        from repro.common.errors import CycleLimitExceeded
+
+        digests = []
+        for backend in ("reference", "batch"):
+            config = SimConfig.for_design(
+                "baseline", num_cores=4, backend=backend, max_cycles=500
+            )
+            machine = build_machine(
+                config, make_workload("genome", ops_per_thread=40), seed=1
+            )
+            with pytest.raises(CycleLimitExceeded) as excinfo:
+                machine.run()
+            assert machine.stats.truncated
+            digests.append({
+                "message": str(excinfo.value),
+                "stats": json.dumps(machine.stats.to_dict(), sort_keys=True),
+                "events": machine.event_count,
+                "memory": sorted(machine.memory.snapshot().items()),
+            })
+        assert digests[1] == digests[0]
+
+
+class TestHookDegradation:
+    """Armed per-event hooks must force the reference loop, unchanged."""
+
+    def pure_config(self, **overrides):
+        return SimConfig(num_cores=4, backend="batch", **overrides)
+
+    def test_pure_config_enters_fused_loop(self, monkeypatch):
+        sentinel = RuntimeError("fused loop entered")
+
+        def explode(self):
+            raise sentinel
+
+        monkeypatch.setattr(BatchMachine, "_run_batched", explode)
+        machine = build_machine(
+            self.pure_config(), make_workload("mwobject", ops_per_thread=2)
+        )
+        assert not machine._needs_reference_loop()
+        with pytest.raises(RuntimeError, match="fused loop entered"):
+            machine.run()
+
+    def assert_degrades(self, batch_machine, reference_machine, monkeypatch):
+        def explode(self):
+            raise AssertionError("batched loop ran despite an armed hook")
+
+        monkeypatch.setattr(BatchMachine, "_run_batched", explode)
+        assert batch_machine._needs_reference_loop()
+        assert run_digest(batch_machine) == run_digest(reference_machine)
+
+    def test_trace_degrades(self, monkeypatch):
+        workload = lambda: make_workload("mwobject", ops_per_thread=3)
+        batch = build_machine(self.pure_config(), workload(), trace=EventTrace())
+        reference = Machine(
+            SimConfig(num_cores=4), workload(), trace=EventTrace()
+        )
+        self.assert_degrades(batch, reference, monkeypatch)
+
+    def test_oracle_degrades(self, monkeypatch):
+        workload = lambda: make_workload("mwobject", ops_per_thread=3)
+        batch = build_machine(self.pure_config(oracle=True), workload())
+        reference = Machine(SimConfig(num_cores=4, oracle=True), workload())
+        self.assert_degrades(batch, reference, monkeypatch)
+
+    def test_watchdog_degrades(self, monkeypatch):
+        workload = lambda: make_workload("mwobject", ops_per_thread=3)
+        batch = build_machine(
+            self.pure_config(watchdog_cycles=100_000), workload()
+        )
+        reference = Machine(
+            SimConfig(num_cores=4, watchdog_cycles=100_000), workload()
+        )
+        self.assert_degrades(batch, reference, monkeypatch)
+
+    def test_faults_degrade(self, monkeypatch):
+        workload = lambda: make_workload("mwobject", ops_per_thread=3)
+        batch = build_machine(
+            self.pure_config(fault_spurious_rate=0.1), workload()
+        )
+        reference = Machine(
+            SimConfig(num_cores=4, fault_spurious_rate=0.1), workload()
+        )
+        self.assert_degrades(batch, reference, monkeypatch)
+
+    def test_conflict_cross_check_degrades(self, monkeypatch):
+        workload = lambda: make_workload("mwobject", ops_per_thread=3)
+        batch = build_machine(
+            self.pure_config(debug_conflict_check=True), workload()
+        )
+        reference = Machine(
+            SimConfig(num_cores=4, debug_conflict_check=True), workload()
+        )
+        self.assert_degrades(batch, reference, monkeypatch)
+
+
+@pytest.mark.slow
+class TestFullMatrixEquivalence:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as handle:
+            return json.load(handle)
+
+    def test_micro_matrix_batch_matches_reference_golden(self, golden):
+        # The committed golden was produced (and is continuously pinned,
+        # see test_conflict_equivalence) by the reference backend; the
+        # batch backend reproducing it byte for byte proves figure-JSON
+        # equivalence across the full micro matrix.
+        from repro.analysis.experiments import (
+            ExperimentSettings,
+            figure_payload,
+            run_config_matrix,
+        )
+
+        settings = ExperimentSettings.micro()
+        settings.config_overrides["backend"] = "batch"
+        matrix = run_config_matrix(settings)
+        payload = json.loads(json.dumps(figure_payload(matrix)))
+        assert payload == golden
+
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_every_workload_matches(self, design):
+        for workload in ALL_NAMES:
+            reference, batch = both_backends(design, workload)
+            assert batch == reference, (
+                "backend divergence on {}/{}".format(workload, design)
+            )
