@@ -56,7 +56,7 @@ def measure_cell(workload, design, scale, engine, journal=None,
                  backend="reference"):
     """One workload x design cell: seed-averaged metrics as a dict."""
     config = SimConfig.for_design(
-        design, num_cores=scale["cores"], oracle=True, backend=backend,
+        design, num_cores=scale["cores"], oracle="shadow", backend=backend,
     )
     report = api.simulate(
         workload, config, seeds=scale["seeds"],

@@ -18,6 +18,10 @@ Modes:
 - ``--record LABEL``: append a new trajectory point to BENCH_PERF.json,
   using the current measurement as "after" and ``--before FILE`` (a
   prior ``--json`` dump) as "before".
+- ``--oracle MODE``: arm a serializability checker in every timed cell
+  (``online`` measures the monitor's overhead against an oracle-off
+  run of the same cells — event counts are unchanged by checking, so
+  the speedup math stays valid).
 - ``--scale micro`` (alias ``--micro``): shrink every cell to 4 cores /
   4 ops so CI can smoke the harness in seconds. Micro numbers are for
   plumbing checks only and are refused by ``--record``.
@@ -84,10 +88,11 @@ def cell_name(workload, letter, cores):
 
 
 def measure_cell(workload, letter, cores, ops_per_thread, reps,
-                 backend="reference"):
+                 backend="reference", oracle=None):
     """Best-of-``reps`` wall time for one cell; returns the cell dict."""
     config = SimConfig.for_design(
         design_name(letter), num_cores=cores, backend=backend,
+        **({"oracle": oracle} if oracle is not None else {})
     )
     best_wall = None
     events = commits = aborts = None
@@ -118,6 +123,7 @@ def measure_cell(workload, letter, cores, ops_per_thread, reps,
         "ops_per_thread": ops_per_thread,
         "seed": SEED,
         "backend": backend,
+        **({"oracle": oracle} if oracle is not None else {}),
         "events": events,
         "wall_seconds": round(best_wall, 4),
         "events_per_second": round(events / best_wall, 1),
@@ -127,7 +133,7 @@ def measure_cell(workload, letter, cores, ops_per_thread, reps,
 
 
 def run_measurement(reps, ops_per_thread, cores_override=None, progress=print,
-                    backend="reference"):
+                    backend="reference", oracle=None):
     cells = {}
     for workload, letter, cores in CELLS:
         if cores_override is not None:
@@ -136,7 +142,7 @@ def run_measurement(reps, ops_per_thread, cores_override=None, progress=print,
         if name in cells:  # cores_override collapses the 8/32 pair
             continue
         cell = measure_cell(workload, letter, cores, ops_per_thread, reps,
-                            backend=backend)
+                            backend=backend, oracle=oracle)
         cells[name] = cell
         progress(
             "{:18s} {:>9,} events  {:7.3f}s  {:>10,.1f} ev/s".format(
@@ -227,6 +233,7 @@ def parse_args(argv):
         help="dump the measurement as JSON (cell schema of BENCH_PERF.json)",
     )
     cli.add_backend_flag(parser)
+    cli.add_oracle_flag(parser)
     parser.add_argument(
         "--compare", nargs="?", const=LAST_POINT, default=None,
         metavar="POINT",
@@ -294,10 +301,11 @@ def main(argv=None):
     cores = 4 if micro else None
     started = time.time()
     measurement = run_measurement(args.reps, ops, cores_override=cores,
-                                  backend=args.backend)
-    print("measured {} cell(s) in {:.1f}s (best of {} rep(s), {} backend)"
+                                  backend=args.backend, oracle=args.oracle)
+    print("measured {} cell(s) in {:.1f}s (best of {} rep(s), {} backend{})"
           .format(len(measurement["cells"]), time.time() - started,
-                  args.reps, args.backend))
+                  args.reps, args.backend,
+                  ", oracle={}".format(args.oracle) if args.oracle else ""))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(measurement, handle, indent=1, sort_keys=True)

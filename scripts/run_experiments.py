@@ -91,10 +91,7 @@ def parse_args(argv):
              "0.05 when given bare), capacity aborts at RATE/2, plus "
              "latency jitter and delayed wakeups",
     )
-    parser.add_argument(
-        "--oracle", action="store_true",
-        help="run the serializability/leak/invariant oracles on every cell",
-    )
+    cli.add_oracle_flag(parser)
     parser.add_argument(
         "--cell-timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget per cell; hung cells are retried then "
@@ -141,8 +138,8 @@ def main(argv=None):
             fault_jitter_cycles=4,
             fault_wakeup_delay_cycles=8,
         )
-    if args.oracle:
-        settings.config_overrides["oracle"] = True
+    if args.oracle is not None:
+        settings.config_overrides["oracle"] = args.oracle
     # Always journalled (even for the default) so a resumed sweep can
     # verify it is continuing with the same event loop.
     settings.config_overrides["backend"] = args.backend

@@ -29,10 +29,11 @@ with a :class:`DeprecationWarning` but is no longer re-exported here.
 
 from repro.core.modes import ExecMode
 from repro.htm.design import DESIGN_REGISTRY, HtmDesign, register_design
-from repro.sim.config import SimConfig
+from repro.sim.config import ORACLE_MODES, SimConfig
 from repro.sim.engine import ExperimentEngine, RunSpec, run_specs
 from repro.sim.faults import FaultPlan
 from repro.sim.machine import Machine
+from repro.sim.monitor import OnlineMonitor
 from repro.sim.oracle import RuntimeOracle
 from repro.sim.runner import AggregateResult, RunResult
 from repro.energy.model import EnergyModel
@@ -61,6 +62,8 @@ __all__ = [
     "RunSpec",
     "ExperimentEngine",
     "FaultPlan",
+    "ORACLE_MODES",
+    "OnlineMonitor",
     "RuntimeOracle",
     "run_specs",
     "EnergyModel",

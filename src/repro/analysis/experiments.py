@@ -44,7 +44,7 @@ class ExperimentSettings:
         self.sweep_thresholds = tuple(sweep_thresholds)
         # Extra SimConfig fields applied to every configuration — how
         # chaos/oracle runs reuse the whole harness (e.g.
-        # {"fault_spurious_rate": 0.05, "oracle": True}).
+        # {"fault_spurious_rate": 0.05, "oracle": "online"}).
         self.config_overrides = dict(config_overrides or {})
 
     @classmethod

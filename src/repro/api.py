@@ -39,7 +39,7 @@ from repro.obs.chrome import write_chrome_trace
 from repro.obs.report import forensic_report as _forensic_report
 from repro.obs.report import write_forensic_report
 from repro.obs.trace import EventTrace, TraceSink
-from repro.sim.config import SimConfig
+from repro.sim.config import SimConfig, resolve_oracle_mode
 from repro.sim.runner import (
     AggregateResult,
     RunResult,
@@ -47,12 +47,19 @@ from repro.sim.runner import (
     _sweep_retry_threshold,
 )
 
-def _resolve_config(config, oracle):
+def _resolve_config(config, oracle=None):
     """Accept a SimConfig, a design name, a legacy paper letter, or None.
 
     Design names (``DESIGN_REGISTRY`` keys) are the canonical string
     spelling; the paper letters B/P/C/W still resolve but raise a
     :class:`DeprecationWarning`.
+
+    ``oracle`` is the facade-level checker-mode override: ``None``
+    (the default) leaves the config's own mode untouched — an explicit
+    config-level mode is never silently downgraded by the kwarg
+    default — while a mode name from
+    :data:`~repro.sim.config.ORACLE_MODES` (or a deprecated boolean,
+    which warns and maps to ``"shadow"``/``"off"``) replaces it.
     """
     if config is None:
         config = SimConfig()
@@ -78,8 +85,9 @@ def _resolve_config(config, oracle):
             "config must be a SimConfig, a design name, or None, not "
             "{!r}".format(type(config).__name__)
         )
-    if oracle and not config.oracle:
-        config = config.replaced(oracle=True)
+    mode = resolve_oracle_mode(oracle, stacklevel=4)
+    if mode is not None and config.oracle != mode:
+        config = config.replaced(oracle=mode)
     return config
 
 
@@ -220,7 +228,7 @@ class SimulationReport(Serializable):
 
 
 def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
-             oracle=False, engine=None, ops_per_thread=None,
+             oracle=None, engine=None, ops_per_thread=None,
              energy_model=None, journal=None):
     """Simulate a workload and return a :class:`SimulationReport`.
 
@@ -250,7 +258,12 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
         that sink instead (single-seed only). Simulated results are
         identical with tracing on or off.
     oracle:
-        Enable the runtime correctness oracles for these runs.
+        Serializability-checker mode for these runs: ``"off"``,
+        ``"shadow"`` (replay oracle), ``"online"`` (incremental
+        monitor, cheap enough to leave on), or ``"cross-check"``
+        (both, verdicts compared). ``None`` (the default) keeps the
+        config's own mode; the deprecated ``True``/``False`` map to
+        ``"shadow"``/``"off"`` with a :class:`DeprecationWarning`.
     engine:
         An :class:`~repro.sim.engine.ExperimentEngine` to fan the seeds
         out through (parallel and cached). Requires ``workload`` by
@@ -370,7 +383,7 @@ def run_seeds(workload, config=None, *, seeds=range(1, 11), trim=PAPER_TRIM,
 
 def sweep_retry_threshold(workload, config=None, thresholds=range(1, 11),
                           seeds=(1, 2, 3), trim=SWEEP_TRIM, *,
-                          ops_per_thread=None, engine=None, oracle=False):
+                          ops_per_thread=None, engine=None, oracle=None):
     """Best retry threshold per application (paper §6 methodology).
 
     The supported replacement for the deprecated

@@ -72,6 +72,28 @@ def add_backend_flag(parser, default="reference"):
     return parser
 
 
+def add_oracle_flag(parser, default=None):
+    """Attach the shared ``--oracle`` checker-mode knob.
+
+    Choices come from :data:`~repro.sim.config.ORACLE_MODES`. A bare
+    ``--oracle`` (no value) arms the shadow-replay oracle — the
+    spelling the old boolean flag had — while ``--oracle online`` and
+    ``--oracle cross-check`` select the commit-order monitor and the
+    differential mode. The default of None means "leave the script's
+    config untouched".
+    """
+    from repro.sim.config import ORACLE_MODES
+
+    parser.add_argument(
+        "--oracle", nargs="?", const="shadow", default=default,
+        choices=ORACLE_MODES, metavar="MODE",
+        help="serializability checker mode: off, shadow (replay "
+             "oracle; the bare-flag default), online (commit-order "
+             "monitor), or cross-check (both, verdicts compared)",
+    )
+    return parser
+
+
 def add_journal_flags(parser):
     """Attach the crash-safe sweep-journal knobs.
 
@@ -243,6 +265,7 @@ __all__ = [
     "add_engine_flags",
     "add_backend_flag",
     "add_design_flag",
+    "add_oracle_flag",
     "add_journal_flags",
     "validate_journal_flags",
     "resolve_journal",

@@ -70,6 +70,11 @@ class ConflictArbiter:
     tests, the legacy oracle path) the built-in PowerTM rule applies —
     which is exactly what every registered design currently implements,
     keeping the ``resolve``/``resolve_line`` cross-check valid.
+
+    Resolutions produced here are what the online serializability
+    monitor (:mod:`repro.sim.monitor`) audits downstream: a resolution
+    this arbiter wrongly drops lets two overlapping ARs commit, which
+    the monitor flags as a stale read at the second commit.
     """
 
     def __init__(self, design=None):

@@ -118,9 +118,11 @@ class HtmDesign:
 
         The default models TSX-like tracking in the private caches: the
         write set against L1 geometry, the union against L2, with every
-        tracked line registered in the machine-global sharer index.
+        tracked line registered in the machine-global sharer index (and
+        in the online monitor's first-read epoch summary when armed).
         """
         config = executor.config
+        monitor = executor.monitor
         return ReadWriteSets(
             l1_sets=config.l1_size // (64 * config.l1_assoc),
             l1_assoc=config.l1_assoc,
@@ -128,6 +130,7 @@ class HtmDesign:
             l2_assoc=config.l2_assoc,
             index=executor.machine.sharer_index,
             core=executor.core,
+            monitor_epochs=monitor.line_epochs if monitor is not None else None,
         )
 
     # -- policy hooks --------------------------------------------------------
@@ -240,6 +243,7 @@ class LrwDesign(HtmDesign):
 
     def build_rwsets(self, *, executor):
         config = executor.config
+        monitor = executor.monitor
         return LimitedReadWriteSets(
             max_read_lines=config.lrw_read_lines,
             max_write_lines=config.lrw_write_lines,
@@ -249,6 +253,7 @@ class LrwDesign(HtmDesign):
             l2_assoc=config.l2_assoc,
             index=executor.machine.sharer_index,
             core=executor.core,
+            monitor_epochs=monitor.line_epochs if monitor is not None else None,
         )
 
     def select_retry_mode(self, *, executor, reason, proposed):

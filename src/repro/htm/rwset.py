@@ -47,12 +47,12 @@ class ReadWriteSets:
     __slots__ = (
         "_l1_sets", "_l1_assoc", "_l2_sets", "_l2_assoc",
         "read_set", "write_set", "_write_buffer",
-        "_index", "_core",
+        "_index", "_core", "_monitor_epochs", "monitor_reads",
         "_union_counts", "_union_over", "_write_counts", "_write_over",
     )
 
     def __init__(self, l1_sets=64, l1_assoc=12, l2_sets=1024, l2_assoc=8,
-                 index=None, core=None):
+                 index=None, core=None, monitor_epochs=None):
         self._l1_sets = l1_sets
         self._l1_assoc = l1_assoc
         self._l2_sets = l2_sets
@@ -62,6 +62,12 @@ class ReadWriteSets:
         self._write_buffer = {}
         self._index = index
         self._core = core
+        # Online-monitor hook (repro.sim.monitor): when armed, the
+        # first read of each line snapshots the line's current commit
+        # epoch into monitor_reads for the commit-time staleness check.
+        # One dict store on the first-access miss path; None otherwise.
+        self._monitor_epochs = monitor_epochs
+        self.monitor_reads = {} if monitor_epochs is not None else None
         # Occupancy per cache set: union (read|write) against L2
         # geometry, write set against L1 geometry, plus how many sets
         # currently exceed their associativity.
@@ -78,6 +84,9 @@ class ReadWriteSets:
         index = self._index
         if index is not None:
             index.add_reader(self._core, line)
+        epochs = self._monitor_epochs
+        if epochs is not None:
+            self.monitor_reads[line] = epochs.get(line, 0)
         if self._l2_sets is not None:
             if line not in self.write_set:
                 counts = self._union_counts
@@ -182,6 +191,8 @@ class ReadWriteSets:
         self.read_set.clear()
         self.write_set.clear()
         self._write_buffer.clear()
+        if self.monitor_reads is not None:
+            self.monitor_reads.clear()
         self._union_counts.clear()
         self._union_over = 0
         self._write_counts.clear()

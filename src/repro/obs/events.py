@@ -26,6 +26,12 @@ become lists (the same convention as
 :meth:`repro.sim.stats.MachineStats.to_dict`). The dict form is what
 traces serialize as, what crosses process boundaries, and what the
 golden trace suite pins byte-for-byte.
+
+The serializability checkers emit *no* events and consume none: the
+online monitor (:mod:`repro.sim.monitor`) hooks commits and first
+reads directly, so ``machine.event_count`` — and therefore every
+events/second throughput comparison — is identical with checking on
+or off.
 """
 
 import enum

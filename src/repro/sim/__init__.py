@@ -22,8 +22,12 @@
 - :mod:`repro.sim.enginefaults` — seeded fault injection against the
   engine substrate itself (worker SIGKILLs, cache corruption, torn
   journal writes, ENOSPC).
-- :mod:`repro.sim.oracle` — runtime correctness oracles (commit-order
-  serializability, invariant sampling, leak checks).
+- :mod:`repro.sim.oracle` — the shadow-replay serializability oracle
+  (``oracle="shadow"``: commit-order replay, invariant sampling, leak
+  checks).
+- :mod:`repro.sim.monitor` — the online commit-order serializability
+  monitor (``oracle="online"``: incremental epoch checking at
+  production rate, same leak checks).
 """
 
 from repro.common.retry import RetryPolicy
@@ -40,6 +44,7 @@ from repro.sim.engine import (
 from repro.sim.enginefaults import EngineFaultPlan
 from repro.sim.faults import FaultPlan
 from repro.sim.journal import SweepJournal
+from repro.sim.monitor import OnlineMonitor
 from repro.sim.oracle import RuntimeOracle
 from repro.sim.program import Load, Store, Compute, Branch, AbortOp, Invoke, Think
 from repro.sim.stats import MachineStats, CoreStats
@@ -59,6 +64,7 @@ __all__ = [
     "FaultPlan",
     "ProgressEvent",
     "RunSpec",
+    "OnlineMonitor",
     "RuntimeOracle",
     "run_specs",
     "Load",

@@ -64,6 +64,7 @@ from repro.sim.executor import (
     STEP_DONE,
 )
 from repro.sim.machine import Machine
+from repro.sim.monitor import finalize_checkers
 from repro.sim.program import AbortOp, Branch, Compute, Load, Store
 
 try:  # The [perf] extra; the plain-array path needs nothing.
@@ -88,7 +89,14 @@ class BatchMachine(Machine):
         return self._run_batched()
 
     def _needs_reference_loop(self):
-        """True when an armed per-event hook demands the reference loop."""
+        """True when an armed per-event hook demands the reference loop.
+
+        The *shadow* oracle degrades (its validate_machine sampling is
+        per-pop); the online monitor deliberately does not — it hooks
+        commits and first accesses only, and the fused fast path below
+        inlines its first-read epoch recording, so ``oracle="online"``
+        stays on the batched loop at full rate.
+        """
         return (
             self.scheduler is not None
             or self.trace is not None
@@ -133,6 +141,8 @@ class BatchMachine(Machine):
         power = self.power
         memory = self.memory
         mem_words = memory._words
+        monitor = self.monitor
+        monitor_epochs = monitor.line_epochs if monitor is not None else None
         accesses = stats.accesses_by_level
         compute_ops = stats._compute_ops
         branch_ops = stats._branch_ops
@@ -195,13 +205,17 @@ class BatchMachine(Machine):
                     ex.mode is fallback_mode
                     and rwsets is None
                     and ex.discovery is None
+                    and monitor is None
                     and not ex.locked_lines
                     and not lock_holders
                 ):
                     # Fallback runs under mutual exclusion with direct
                     # stores: no lock gate (table empty), no
                     # arbitration, no tracking sets — only the memory
-                    # system and architectural movement remain.
+                    # system and architectural movement remain. With
+                    # the monitor armed, fallback ops delegate to the
+                    # reference method, which carries its eager
+                    # load/store hooks (fallback traffic is rare).
                     spec = False
                 else:
                     # CL/failed modes, bounded (lrw) tracking sets,
@@ -395,6 +409,14 @@ class BatchMachine(Machine):
                             entry = LineSharers()
                             sharer_lines[line] = entry
                         entry.readers.add(core)
+                        # Online-monitor shim: the reference
+                        # record_read's first-read epoch snapshot,
+                        # inlined so an armed monitor keeps the fused
+                        # path instead of degrading the backend.
+                        if monitor_epochs is not None:
+                            rwsets.monitor_reads[line] = (
+                                monitor_epochs.get(line, 0)
+                            )
                         l2_geom = rwsets._l2_sets
                         if l2_geom is not None:
                             if line not in rwsets.write_set:
@@ -650,4 +672,10 @@ class BatchMachine(Machine):
         annotations = design.stat_annotations(machine=self)
         if annotations:
             stats.design_annotations = dict(annotations)
+        if monitor is not None:
+            # Only the monitor can be armed here (the shadow oracle
+            # degrades to the reference loop above), but the shared
+            # dispatcher keeps the two loops' end-of-run behaviour
+            # textually identical.
+            finalize_checkers(self)
         return stats

@@ -48,6 +48,20 @@ _UNSET = object()
 #: per-event fidelity degrade it back to the reference loop).
 BACKENDS = ("reference", "batch")
 
+#: Serializability-checker modes for ``SimConfig.oracle``:
+#:
+#: - ``"off"``: no checking (the default).
+#: - ``"shadow"``: the legacy :class:`~repro.sim.oracle.RuntimeOracle`
+#:   — commit-order replay against a shadow memory plus periodic
+#:   ``validate_machine`` sampling. Thorough but host-slow.
+#: - ``"online"``: the :class:`~repro.sim.monitor.OnlineMonitor` —
+#:   incremental epoch/region tracking checked at each commit, cheap
+#:   enough to leave on under the bench grid and ``repro.verify``.
+#: - ``"cross-check"``: both checkers run and their verdicts are
+#:   compared; any divergence raises
+#:   :class:`~repro.common.errors.OracleDivergence`.
+ORACLE_MODES = ("off", "shadow", "online", "cross-check")
+
 
 class HtmPolicy(enum.Enum):
     """Conflict-resolution baseline."""
@@ -70,6 +84,38 @@ def _warn_flag_kwargs():
         DeprecationWarning,
         stacklevel=3,
     )
+
+
+def _warn_oracle_bool(stacklevel=3):
+    warnings.warn(
+        "oracle=True/False is deprecated; pass an oracle mode name "
+        "('off', 'shadow', 'online', or 'cross-check') instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_oracle_mode(value, *, stacklevel=3):
+    """Normalize an ``oracle=`` argument to a canonical mode name.
+
+    ``None`` passes through (meaning "leave the config's mode alone");
+    the deprecated booleans warn and map to exactly ``"shadow"`` /
+    ``"off"``; mode names validate against :data:`ORACLE_MODES`. The
+    single compat funnel for the constructor shim, ``from_dict``, the
+    :mod:`repro.api` facade, and the CLI flag layer.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        _warn_oracle_bool(stacklevel=stacklevel + 1)
+        return "shadow" if value else "off"
+    if value not in ORACLE_MODES:
+        raise ConfigurationError(
+            "oracle must be one of {}, not {!r}".format(
+                ", ".join(repr(mode) for mode in ORACLE_MODES), value
+            )
+        )
+    return value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,13 +210,16 @@ class SimConfig(Serializable):
     fault_jitter_cycles: int = 0
     # Max extra cycles a parked core's lock-release wakeup is delayed.
     fault_wakeup_delay_cycles: int = 0
-    # -- robustness: runtime oracles (repro.sim.oracle) --
-    # Commit-order serializability replay + leak checks + periodic
-    # validate_machine sampling. Zero simulated-time cost; off by
-    # default because the shadow replay costs host time.
-    oracle: bool = False
+    # -- robustness: serializability checkers (repro.sim.oracle /
+    # repro.sim.monitor) --
+    # Checker mode, one of ORACLE_MODES: "off", "shadow" (replay
+    # oracle), "online" (incremental epoch monitor), or "cross-check"
+    # (both, verdicts compared). Zero simulated-time cost in every
+    # mode; the deprecated True/False spellings normalize to
+    # "shadow"/"off" through the constructor shim below.
+    oracle: str = "off"
     # Event-loop pops between validate_machine samples while the
-    # oracle is enabled.
+    # shadow oracle is enabled.
     oracle_validate_interval: int = 4096
     # Livelock watchdog: trip when no AR commits within this many
     # cycles while cores are still runnable (0 disables).
@@ -226,6 +275,13 @@ class SimConfig(Serializable):
                 raise ConfigurationError(
                     "{} must be non-negative".format(cycles_name)
                 )
+        if self.oracle not in ORACLE_MODES:
+            raise ConfigurationError(
+                "oracle must be one of {}, not {!r}".format(
+                    ", ".join(repr(mode) for mode in ORACLE_MODES),
+                    self.oracle,
+                )
+            )
         if self.oracle_validate_interval < 1:
             raise ConfigurationError(
                 "oracle_validate_interval must be >= 1"
@@ -236,6 +292,21 @@ class SimConfig(Serializable):
                     self.backend, ", ".join(BACKENDS)
                 )
             )
+
+    @property
+    def oracle_armed(self):
+        """True when any serializability checker is enabled."""
+        return self.oracle != "off"
+
+    @property
+    def shadow_oracle(self):
+        """True when the shadow-replay oracle runs (shadow/cross-check)."""
+        return self.oracle in ("shadow", "cross-check")
+
+    @property
+    def online_monitor(self):
+        """True when the online monitor runs (online/cross-check)."""
+        return self.oracle in ("online", "cross-check")
 
     @property
     def chaos_enabled(self):
@@ -314,12 +385,16 @@ class SimConfig(Serializable):
         booleans; they are migrated silently (no warning — cached
         results are not the caller's code) into the equivalent
         ``design`` name, so legacy payloads deserialize to the same
-        normalized fingerprint as their modern spelling. Other unknown
-        keys still raise :class:`ConfigurationError` rather than being
-        silently dropped, so stale cache entries or hand-edited configs
-        fail loudly.
+        normalized fingerprint as their modern spelling. Pre-v4
+        payloads spelled ``oracle`` as a boolean; it migrates to the
+        equivalent mode name the same way. Other unknown keys still
+        raise :class:`ConfigurationError` rather than being silently
+        dropped, so stale cache entries or hand-edited configs fail
+        loudly.
         """
         data = dict(data)
+        if isinstance(data.get("oracle"), bool):
+            data["oracle"] = "shadow" if data["oracle"] else "off"
         legacy_powertm = data.pop("powertm", _UNSET)
         legacy_clear = data.pop("clear", _UNSET)
         if legacy_powertm is not _UNSET or legacy_clear is not _UNSET:
@@ -383,11 +458,12 @@ class SimConfig(Serializable):
 
 
 # The generated __init__ is wrapped (not replaced) so the deprecated
-# powertm/clear keyword aliases keep working one release longer: they
-# warn, normalize into `design`, and are rejected when inconsistent
-# with an explicitly passed design. dataclasses.replace() and every
-# internal construction path go through the same wrapper with plain
-# field kwargs, paying one tuple check.
+# powertm/clear keyword aliases and oracle booleans keep working one
+# release longer: they warn, normalize into `design` / an oracle mode
+# name, and the flag pair is rejected when inconsistent with an
+# explicitly passed design. dataclasses.replace() and every internal
+# construction path go through the same wrapper with plain field
+# kwargs, paying one tuple check.
 _FIELD_INIT = SimConfig.__init__
 
 
@@ -404,6 +480,9 @@ def _shim_init(self, *args, powertm=_UNSET, clear=_UNSET, **kwargs):
                 "design={!r} conflicts with the deprecated powertm/clear "
                 "flags (which spell {!r})".format(declared, flags_design)
             )
+    if isinstance(kwargs.get("oracle"), bool):
+        _warn_oracle_bool()
+        kwargs["oracle"] = "shadow" if kwargs["oracle"] else "off"
     _FIELD_INIT(self, *args, **kwargs)
 
 
@@ -413,9 +492,11 @@ SimConfig.__init__ = _shim_init
 
 __all__ = [
     "BACKENDS",
+    "ORACLE_MODES",
     "HtmPolicy",
     "SimConfig",
     "DESIGN_REGISTRY",
     "LEGACY_LETTER_DESIGNS",
     "design_name",
+    "resolve_oracle_mode",
 ]

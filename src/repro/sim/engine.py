@@ -66,7 +66,10 @@ from repro.workloads import make_workload
 #: registry section.
 #: v3: SimConfig serializes the canonical ``design`` name instead of
 #: the powertm/clear booleans (from_dict migrates v2 payloads).
-SCHEMA_VERSION = 3
+#: v4: SimConfig.oracle is a checker-mode string ("off"/"shadow"/
+#: "online"/"cross-check") instead of a boolean (from_dict migrates
+#: v3 payloads).
+SCHEMA_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".exp_cache"
 

@@ -72,7 +72,7 @@ class CoreExecutor:
         "_fault_abort_reason", "fallback_read_held", "fallback_write_held",
         "locked_lines", "_lock_groups", "_lock_group_idx", "_lock_set_held",
         "finish_time", "trace", "attempt_begin_cycle", "first_lock_cycle",
-        "fallback_entry_cycle", "ledger",
+        "fallback_entry_cycle", "ledger", "monitor",
     )
 
     def __init__(self, core, machine, controller=None):
@@ -87,6 +87,9 @@ class CoreExecutor:
         # Opt-in per-invocation attempt accounting for the retry-bound
         # oracle (repro.verify); None on ordinary runs.
         self.ledger = machine.retry_ledger
+        # Online serializability monitor (repro.sim.monitor); None
+        # unless config.oracle is "online"/"cross-check".
+        self.monitor = machine.monitor
         self.phase = IDLE
         self.mode = None
         self.rng = machine.rng.child(("core", core))
@@ -332,8 +335,17 @@ class CoreExecutor:
             # NS-CL needs no conflict detection, but stores are still
             # buffered until XEnd so the defensive footprint-deviation
             # abort can never leak a partial update (capacity checks are
-            # off: discovery already proved the footprint fits).
-            self.rwsets = ReadWriteSets(l1_sets=None, l2_sets=None)
+            # off: discovery already proved the footprint fits). Its
+            # reads are still epoch-checked by the monitor — every
+            # accessed line is locked, so recorded epochs cannot move
+            # on a correct machine.
+            monitor = self.monitor
+            self.rwsets = ReadWriteSets(
+                l1_sets=None, l2_sets=None,
+                monitor_epochs=(
+                    monitor.line_epochs if monitor is not None else None
+                ),
+            )
         self.discovery = None
         self._plan_fault_injection()  # strikes S-CL only; NS-CL is immune
         self._lock_groups = self.controller.prepare_lock_plan(self.saved_discovery, mode)
@@ -679,13 +691,25 @@ class CoreExecutor:
             if rwsets is not None:
                 rwsets.buffer_store(word_addr, op.store_value)
             else:
-                machine.memory.store(word_addr, op.store_value)
+                # Fallback: direct store, applied to the monitor's
+                # value map as it is issued (mutual exclusion means no
+                # concurrent commit can interleave).
+                value = op.store_value
+                machine.memory.store(word_addr, value)
+                if self.monitor is not None:
+                    self.monitor.note_fallback_store(
+                        self.core, word_addr, value
+                    )
             return self._busy(latency, failed_discovery=failed)
         if rwsets is not None:
             forwarded = rwsets.forwarded_load(word_addr)
             value = forwarded if forwarded is not None else machine.memory.load(word_addr)
         else:
             value = machine.memory.load(word_addr)
+            if self.monitor is not None:
+                # Fallback loads are checked eagerly: under mutual
+                # exclusion memory must match the committed prefix.
+                self.monitor.note_fallback_load(self.core, word_addr, value)
         self.gen_send_value = TaintedValue(value, tainted=True)
         return self._busy(latency, failed_discovery=failed)
 
@@ -724,6 +748,13 @@ class CoreExecutor:
             # replay then also stops at the AbortOp).
             machine.oracle.record_commit(
                 self.core, self.invocation, mode, via_abort=via_abort
+            )
+        if self.monitor is not None:
+            # Epoch staleness check + value-map fold; needs the write
+            # buffer intact, so it runs before drain_to below.
+            self.monitor.record_commit(
+                self.core, self.invocation, mode, self.rwsets,
+                via_abort=via_abort,
             )
         if self.rwsets is not None:
             self.rwsets.drain_to(machine.memory)
@@ -814,6 +845,10 @@ class CoreExecutor:
             ).footprint
         if self.rwsets is not None:
             self.rwsets.discard()
+        if mode is ExecMode.FALLBACK and self.monitor is not None:
+            # A fallback abort (MAX_OPS bound) still persisted its
+            # direct stores; the monitor stamps their lines now.
+            self.monitor.note_fallback_abort(self.core)
         self._release_all_holdings()
         if counts_toward_retry_limit(reason):
             self.counting_retries += 1

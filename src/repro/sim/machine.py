@@ -42,6 +42,7 @@ from repro.sim.executor import (
     CoreExecutor,
 )
 from repro.sim.faults import FaultPlan
+from repro.sim.monitor import OnlineMonitor, finalize_checkers
 from repro.sim.oracle import RuntimeOracle
 from repro.sim.stats import MachineStats
 
@@ -144,12 +145,21 @@ class Machine:
         # child streams of the run seed (reproducible, and invisible to
         # every other consumer of the rng).
         self.faults = FaultPlan.from_config(config, self.rng, config.num_cores)
-        # Oracle: constructed after workload setup so the shadow memory
-        # seeds from the exact post-setup architectural state.
+        # Serializability checkers (config.oracle mode): constructed
+        # after workload setup so shadow memory / the monitor's value
+        # map seed from the exact post-setup architectural state. The
+        # monitor comes second so its poke mirror chains onto the
+        # shadow's in cross-check mode; it defers commit-time verdicts
+        # there so both checkers see the whole run before comparison.
         self.oracle = None
-        if config.oracle:
+        self.monitor = None
+        if config.shadow_oracle:
             self.oracle = RuntimeOracle(
                 self, validate_interval=config.oracle_validate_interval
+            )
+        if config.online_monitor:
+            self.monitor = OnlineMonitor(
+                self, defer_violations=self.oracle is not None
             )
         self.executors = []
         for core in range(config.num_cores):
@@ -410,8 +420,8 @@ class Machine:
         annotations = self.design.stat_annotations(machine=self)
         if annotations:
             self.stats.design_annotations = dict(annotations)
-        if oracle is not None:
-            oracle.finalize()
+        if oracle is not None or self.monitor is not None:
+            finalize_checkers(self)
         return self.stats
 
     # -- diagnostics ----------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Runtime correctness oracles.
+"""The shadow-replay serializability oracle (``oracle="shadow"``).
 
 The paper's guarantees are *robustness* claims — committed schedules
 stay serializable, NS-CL always completes, locks and the power token
@@ -25,6 +25,13 @@ RegionTrack-style dynamic trace checkers), so a chaos run under
 Violations raise :class:`repro.common.errors.OracleViolation` carrying
 a structured ``details`` dict. The oracle costs zero simulated cycles;
 it is pure host-side measurement machinery.
+
+The replay oracle is the *reference* checker: sound and complete, but
+it re-executes every committed region on the host, which is too slow
+to leave on under the bench grid or large fuzzing campaigns. The
+production-rate checker is :class:`repro.sim.monitor.OnlineMonitor`
+(``oracle="online"``); ``oracle="cross-check"`` runs both and compares
+their verdicts. See :data:`repro.sim.config.ORACLE_MODES`.
 """
 
 from repro.common.errors import OracleViolation
@@ -34,6 +41,39 @@ from repro.sim.validate import validate_machine
 
 #: How many diverging addresses a serializability violation reports.
 MAX_DIFF_REPORT = 16
+
+
+def check_leaks(machine):
+    """End-of-run leak checks shared by both serializability checkers.
+
+    After the last thread finishes, the cacheline lock table must be
+    empty and the fallback lock and power token free; anything held is
+    a protocol leak and raises :class:`OracleViolation`.
+    """
+    locks = machine.memsys.locks
+    if locks.locked_line_count():
+        raise OracleViolation(
+            "lock-table leak: {} cacheline lock(s) survived the run".format(
+                locks.locked_line_count()
+            ),
+            details={"held": locks.snapshot()},
+        )
+    fallback = machine.fallback
+    if fallback.is_write_held() or fallback.readers:
+        raise OracleViolation(
+            "fallback-lock leak after run completion",
+            details={
+                "writer": fallback.writer,
+                "readers": sorted(fallback.readers),
+            },
+        )
+    if machine.power.holder is not None:
+        raise OracleViolation(
+            "power-token leak: core {} still holds the token".format(
+                machine.power.holder
+            ),
+            details={"holder": machine.power.holder},
+        )
 
 
 class CommitRecord:
@@ -104,37 +144,10 @@ class RuntimeOracle:
 
     def finalize(self):
         """Leak checks + final serializability diff; raises on violation."""
-        self._check_leaks()
+        check_leaks(self.machine)
         validate_machine(self.machine)
         self._check_serializability()
         self.machine.memory.poke_mirror = None
-
-    def _check_leaks(self):
-        machine = self.machine
-        locks = machine.memsys.locks
-        if locks.locked_line_count():
-            raise OracleViolation(
-                "lock-table leak: {} cacheline lock(s) survived the run".format(
-                    locks.locked_line_count()
-                ),
-                details={"held": locks.snapshot()},
-            )
-        fallback = machine.fallback
-        if fallback.is_write_held() or fallback.readers:
-            raise OracleViolation(
-                "fallback-lock leak after run completion",
-                details={
-                    "writer": fallback.writer,
-                    "readers": sorted(fallback.readers),
-                },
-            )
-        if machine.power.holder is not None:
-            raise OracleViolation(
-                "power-token leak: core {} still holds the token".format(
-                    machine.power.holder
-                ),
-                details={"holder": machine.power.holder},
-            )
 
     def _check_serializability(self):
         memory_words = self.machine.memory.snapshot()

@@ -19,6 +19,12 @@ and the serialized form are unchanged. The registry also carries the
 latency histograms (abort latency, retries per committed AR, cacheline
 lock hold time, fallback hold time) — all pure functions of simulated
 cycles, so they are identical with tracing on or off.
+
+The serializability checkers (:mod:`repro.sim.oracle`,
+:mod:`repro.sim.monitor`) keep their own counters (commit records,
+reads checked, samples taken) *outside* this surface on purpose: a
+checked run must serialize, fingerprint, and golden-compare exactly
+like an unchecked one.
 """
 
 from collections import Counter

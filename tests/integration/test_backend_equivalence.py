@@ -192,8 +192,8 @@ class TestHookDegradation:
 
     def test_oracle_degrades(self, monkeypatch):
         workload = lambda: make_workload("mwobject", ops_per_thread=3)
-        batch = build_machine(self.pure_config(oracle=True), workload())
-        reference = Machine(SimConfig(num_cores=4, oracle=True), workload())
+        batch = build_machine(self.pure_config(oracle="shadow"), workload())
+        reference = Machine(SimConfig(num_cores=4, oracle="shadow"), workload())
         self.assert_degrades(batch, reference, monkeypatch)
 
     def test_watchdog_degrades(self, monkeypatch):

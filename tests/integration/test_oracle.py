@@ -16,7 +16,7 @@ from repro.workloads import make_workload
 
 
 def oracle_config(letter="C", **overrides):
-    return SimConfig.for_design(design_name(letter), num_cores=4, oracle=True, **overrides)
+    return SimConfig.for_design(design_name(letter), num_cores=4, oracle="shadow", **overrides)
 
 
 class TestOraclePasses:

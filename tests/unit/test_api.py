@@ -67,10 +67,31 @@ class TestInputResolution:
         with pytest.raises(ValueError, match="named workloads"):
             simulate(factory, config, seeds=1, ops_per_thread=8)
 
-    def test_oracle_flag_applies(self):
+    def test_oracle_mode_applies(self):
         report = simulate("arrayswap", "baseline", seeds=1, ops_per_thread=OPS,
-                          oracle=True)
-        assert report.config.oracle
+                          oracle="online")
+        assert report.config.oracle == "online"
+
+    def test_oracle_none_keeps_config_mode(self):
+        config = SimConfig.for_design("baseline", oracle="cross-check")
+        report = simulate("arrayswap", config, seeds=1, ops_per_thread=OPS)
+        assert report.config.oracle == "cross-check"
+
+    def test_oracle_kwarg_overrides_config_mode(self):
+        config = SimConfig.for_design("baseline", oracle="shadow")
+        report = simulate("arrayswap", config, seeds=1, ops_per_thread=OPS,
+                          oracle="off")
+        assert report.config.oracle == "off"
+
+    def test_oracle_bool_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="oracle mode name"):
+            report = simulate("arrayswap", "baseline", seeds=1,
+                              ops_per_thread=OPS, oracle=True)
+        assert report.config.oracle == "shadow"
+        with pytest.warns(DeprecationWarning, match="oracle mode name"):
+            report = simulate("arrayswap", "baseline", seeds=1,
+                              ops_per_thread=OPS, oracle=False)
+        assert report.config.oracle == "off"
 
     def test_named_and_factory_agree(self, config):
         named = simulate("arrayswap", config, seeds=1, ops_per_thread=OPS)

@@ -80,6 +80,31 @@ class TestScaleFlag:
             parser.parse_args(["--scale", "galactic"])
 
 
+class TestOracleFlag:
+    def make(self, **kwargs):
+        parser = cli.argparse.ArgumentParser()
+        cli.add_oracle_flag(parser, **kwargs)
+        return parser
+
+    def test_default_leaves_config_alone(self):
+        assert self.make().parse_args([]).oracle is None
+
+    def test_bare_flag_means_shadow(self):
+        assert self.make().parse_args(["--oracle"]).oracle == "shadow"
+
+    def test_mode_names_accepted(self):
+        parser = self.make()
+        for mode in ("off", "shadow", "online", "cross-check"):
+            assert parser.parse_args(["--oracle", mode]).oracle == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            self.make().parse_args(["--oracle", "sometimes"])
+
+    def test_custom_default(self):
+        assert self.make(default="online").parse_args([]).oracle == "online"
+
+
 class TestWantsTrace:
     def test_wants_trace(self):
         parser = make_parser()

@@ -6,7 +6,12 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.htm.design import DESIGN_REGISTRY, LEGACY_LETTER_DESIGNS
-from repro.sim.config import HtmPolicy, SimConfig
+from repro.sim.config import (
+    HtmPolicy,
+    ORACLE_MODES,
+    SimConfig,
+    resolve_oracle_mode,
+)
 
 
 class TestTable2Defaults:
@@ -128,6 +133,64 @@ class TestLegacyBooleanShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert config.powertm and config.clear
+
+
+class TestOracleModes:
+    def test_modes_accepted(self):
+        for mode in ORACLE_MODES:
+            config = SimConfig(oracle=mode)
+            assert config.oracle == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="oracle"):
+            SimConfig(oracle="sometimes")
+
+    def test_mode_properties(self):
+        expectations = {
+            "off": (False, False, False),
+            "shadow": (True, True, False),
+            "online": (True, False, True),
+            "cross-check": (True, True, True),
+        }
+        for mode, (armed, shadow, online) in expectations.items():
+            config = SimConfig(oracle=mode)
+            assert config.oracle_armed is armed
+            assert config.shadow_oracle is shadow
+            assert config.online_monitor is online
+
+    @pytest.mark.parametrize("legacy, mode", [(True, "shadow"), (False, "off")])
+    def test_boolean_kwarg_warns_and_normalizes(self, legacy, mode):
+        with pytest.deprecated_call():
+            config = SimConfig(oracle=legacy)
+        assert config.oracle == mode
+        assert config == SimConfig(oracle=mode)
+        assert config.fingerprint() == SimConfig(oracle=mode).fingerprint()
+
+    @pytest.mark.parametrize("legacy, mode", [(True, "shadow"), (False, "off")])
+    def test_boolean_payloads_migrate_silently(self, legacy, mode):
+        data = SimConfig(oracle=mode).to_dict()
+        data["oracle"] = legacy
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            migrated = SimConfig.from_dict(data)
+        assert migrated.oracle == mode
+        assert migrated.fingerprint() == SimConfig(oracle=mode).fingerprint()
+
+    def test_resolve_oracle_mode(self):
+        assert resolve_oracle_mode(None) is None
+        assert resolve_oracle_mode("online") == "online"
+        with pytest.deprecated_call():
+            assert resolve_oracle_mode(True) == "shadow"
+        with pytest.deprecated_call():
+            assert resolve_oracle_mode(False) == "off"
+        with pytest.raises(ConfigurationError):
+            resolve_oracle_mode("bogus")
+
+    def test_reading_mode_properties_does_not_warn(self):
+        config = SimConfig(oracle="cross-check")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.oracle_armed
 
 
 class TestValidation:

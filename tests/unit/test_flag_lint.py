@@ -7,6 +7,14 @@ or a hook on the machine's design instance). A fresh ``config.powertm``
 read silently bypasses the registry — e.g. a custom registered design
 with ``powertm = True`` would be treated as requester-wins by any code
 still pattern-matching on the boolean. This grep keeps the door shut.
+
+Same story for ``config.oracle``: since the checker-mode redesign it is
+a mode *string* (``"off"``/``"shadow"``/``"online"``/``"cross-check"``),
+so a truthiness read (``if config.oracle:``) is a latent bug — every
+non-empty mode string, including ``"off"``, is truthy. Behavioral code
+must use the ``oracle_armed``/``shadow_oracle``/``online_monitor``
+properties or compare against a mode name; only the compatibility
+layer in ``sim/config.py`` may treat the field loosely.
 """
 
 import re
@@ -18,11 +26,21 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 #: receiver (``config.powertm``, ``self.config.clear``, ...).
 FLAG_READ = re.compile(r"\bconfig\s*\.\s*(powertm|clear)\b")
 
+#: Truthiness reads of the oracle mode string: ``config.oracle`` used
+#: directly as a condition (always true — "off" is a non-empty string)
+#: rather than compared to a mode name or routed through the
+#: ``oracle_armed``/``shadow_oracle``/``online_monitor`` properties.
+ORACLE_TRUTHINESS = re.compile(
+    r"\b(?:if|elif|while|assert|not|and|or|return)\s+"
+    r"(?:self\s*\.\s*)?config\s*\.\s*oracle\b"
+    r"(?!\s*(?:==|!=|\bin\b|\bis\b|\bnot\b))"
+)
+
 #: Files allowed to touch the booleans: the compatibility layer itself.
 EXEMPT = {"sim/config.py"}
 
 
-def flag_reads():
+def flag_reads(pattern=FLAG_READ):
     hits = []
     for path in sorted(SRC.rglob("*.py")):
         relative = path.relative_to(SRC).as_posix()
@@ -30,7 +48,7 @@ def flag_reads():
             continue
         for number, line in enumerate(path.read_text().splitlines(), 1):
             code = line.split("#", 1)[0]
-            if FLAG_READ.search(code):
+            if pattern.search(code):
                 hits.append("src/repro/{}:{}: {}".format(
                     relative, number, line.strip()
                 ))
@@ -42,6 +60,15 @@ def test_no_direct_mode_boolean_reads():
     assert not hits, (
         "direct config.powertm/config.clear reads found (dispatch "
         "through the design protocol instead):\n" + "\n".join(hits)
+    )
+
+
+def test_no_oracle_truthiness_reads():
+    hits = flag_reads(ORACLE_TRUTHINESS)
+    assert not hits, (
+        "truthiness reads of the oracle mode string found (use "
+        "config.oracle_armed / shadow_oracle / online_monitor or "
+        "compare to a mode name):\n" + "\n".join(hits)
     )
 
 
@@ -62,3 +89,25 @@ def test_lint_actually_detects(tmp_path, monkeypatch):
     hits = flag_reads()
     assert len(hits) == 1
     assert "victim.py:2" in hits[0]
+
+
+def test_oracle_lint_actually_detects(tmp_path, monkeypatch):
+    """Same non-vacuousness check for the oracle truthiness lint."""
+    planted = tmp_path / "repro"
+    (planted / "sim").mkdir(parents=True)
+    (planted / "sim" / "config.py").write_text("if config.oracle:\n    pass\n")
+    (planted / "victim.py").write_text(
+        "# if config.oracle: in a comment is fine\n"
+        "armed = config.oracle == 'online'  # comparisons are fine\n"
+        "mode = self.config.oracle\n"  # plain read is fine
+        "if config.oracle_armed:\n    pass\n"  # property is fine
+        "if not config.oracle:\n"
+        "    pass\n"
+    )
+    import sys
+
+    lint = sys.modules[__name__]
+    monkeypatch.setattr(lint, "SRC", planted)
+    hits = flag_reads(ORACLE_TRUTHINESS)
+    assert len(hits) == 1
+    assert "victim.py:6" in hits[0]
