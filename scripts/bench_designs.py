@@ -221,9 +221,10 @@ def parse_args(argv):
         help="subset of designs to run (default: every registered design)",
     )
     parser.add_argument(
-        "--workloads", nargs="+", choices=ALL_NAMES, default=None,
-        metavar="NAME",
-        help="subset of workloads to run (default: all 19)",
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="subset of workloads to run: built-in names, "
+             "gen:<spec|fingerprint|folder>, or trace:<folder> "
+             "(default: all 19 built-ins)",
     )
     parser.add_argument(
         "--json", metavar="OUT", default=JSON_PATH,
@@ -242,6 +243,8 @@ def parse_args(argv):
     cli.validate_journal_flags(parser, args)
     if args.designs is not None and "baseline" not in args.designs:
         parser.error("--designs must include baseline (the normalizer)")
+    if args.workloads is not None:
+        args.workloads = cli.resolve_workload_names(parser, args.workloads)
     return args
 
 

@@ -7,6 +7,12 @@ The test suite pins two goldens:
   micro experiment matrix (all benchmarks x B/P/C/W at 4 cores).
 - ``tests/goldens/trace_micro.json`` — the exact event stream of one
   micro cell (genome/W/4c seed 1).
+- ``tests/goldens/corpus_micro.json`` — the committed workload corpus
+  (``tests/workloads/corpus/``: one generated kernel folder, one
+  recorded trace) run through every registered design with the online
+  serializability monitor armed, digests pinned per cell. The corpus
+  folders themselves are fixed committed inputs; only the result
+  digests are recomputed here.
 
 Both must only ever change when simulated behaviour *intentionally*
 changes. This script recomputes each golden, prints a summary of what
@@ -59,6 +65,60 @@ def compute_trace():
     return refreshed
 
 
+def compute_corpus():
+    import hashlib
+
+    from repro import api
+    from repro.htm.design import DESIGN_REGISTRY
+    from repro.sim.config import SimConfig
+    from repro.sim.machine import build_machine
+    from repro.workloads import make_workload
+
+    corpus = os.path.join(REPO, "tests", "workloads", "corpus")
+    targets = {
+        "gen": "gen:" + os.path.join(corpus, "kernel"),
+        "trace": "trace:" + os.path.join(corpus, "trace"),
+    }
+    results = {}
+    for label, name in sorted(targets.items()):
+        per_design = {}
+        for design in sorted(DESIGN_REGISTRY):
+            config = SimConfig.for_design(design, num_cores=4,
+                                          oracle="online")
+            report = api.simulate(name, config, seeds=1, ops_per_thread=4)
+            stats = report.runs[0].stats
+            # api.simulate does not surface final memory; digest it from
+            # a direct machine run of the same cell.
+            machine = build_machine(
+                config, make_workload(name, ops_per_thread=4), seed=1
+            )
+            machine.run()
+            memory = machine.memory.snapshot()
+            per_design[design] = {
+                "commits": stats.total_commits,
+                "cycles": stats.makespan_cycles,
+                "stats_sha256": hashlib.sha256(json.dumps(
+                    stats.to_dict(), sort_keys=True,
+                    separators=(",", ":"),
+                ).encode()).hexdigest(),
+                "memory_sha256": hashlib.sha256(json.dumps(
+                    sorted(memory.items()), separators=(",", ":"),
+                ).encode()).hexdigest(),
+            }
+        results[label] = per_design
+    return {
+        "description": (
+            "Committed corpus (tests/workloads/corpus/) through every "
+            "design, online monitor armed; refresh with "
+            "scripts/refresh_goldens.py --only corpus --apply"
+        ),
+        "num_cores": 4,
+        "seed": 1,
+        "ops_per_thread": 4,
+        "results": results,
+    }
+
+
 def load(path):
     with open(path) as handle:
         return json.load(handle)
@@ -94,7 +154,7 @@ def main(argv=None):
         help="overwrite the goldens (default: dry run, diff summary only)",
     )
     parser.add_argument(
-        "--only", choices=("figures", "trace"), default=None,
+        "--only", choices=("figures", "trace", "corpus"), default=None,
         help="refresh just one golden",
     )
     args = parser.parse_args(argv)
@@ -104,6 +164,8 @@ def main(argv=None):
         targets.append(("figures_micro.json", compute_figures))
     if args.only in (None, "trace"):
         targets.append(("trace_micro.json", compute_trace))
+    if args.only in (None, "corpus"):
+        targets.append(("corpus_micro.json", compute_corpus))
 
     any_changed = False
     for name, compute in targets:

@@ -82,7 +82,10 @@ def parse_args(argv):
     cli.add_trace_flags(parser)
     parser.add_argument(
         "--benchmarks", default=None, metavar="A,B,...",
-        help="comma-separated benchmark subset (default: all 19)",
+        help="comma-separated benchmark subset: built-in names, "
+             "gen:<spec|fingerprint|folder>, or trace:<folder> "
+             "(default: all 19 built-ins). Multi-axis gen specs contain "
+             "commas — pass those by fingerprint or saved kernel folder",
     )
     parser.add_argument(
         "--chaos", nargs="?", type=float, const=0.05, default=None,
@@ -117,20 +120,19 @@ def parse_args(argv):
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         parser.error("--cell-timeout must be positive")
     if args.benchmarks:
-        from repro.workloads import ALL_NAMES
-
-        unknown = set(args.benchmarks.split(",")) - set(ALL_NAMES)
-        if unknown:
-            parser.error("unknown benchmark(s) {}; choose from {}".format(
-                ",".join(sorted(unknown)), ",".join(ALL_NAMES)))
+        args.benchmark_list = cli.resolve_workload_names(
+            parser, args.benchmarks.split(",")
+        )
+    else:
+        args.benchmark_list = None
     return args
 
 
 def main(argv=None):
     args = parse_args(argv if argv is not None else sys.argv[1:])
     settings = settings_for(args.scale)
-    if args.benchmarks:
-        settings.benchmarks = tuple(args.benchmarks.split(","))
+    if args.benchmark_list:
+        settings.benchmarks = tuple(args.benchmark_list)
     if args.chaos is not None:
         settings.config_overrides.update(
             fault_spurious_rate=args.chaos,

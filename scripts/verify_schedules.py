@@ -70,11 +70,11 @@ def parse_args(argv):
     if args.workloads == "all":
         args.workload_list = list(DATASTRUCTURE_NAMES)
     else:
-        args.workload_list = args.workloads.split(",")
-        unknown = set(args.workload_list) - set(DATASTRUCTURE_NAMES)
-        if unknown:
-            parser.error("unknown workload(s) {}; choose from {}".format(
-                ",".join(sorted(unknown)), ",".join(DATASTRUCTURE_NAMES)))
+        # Any namespace is explorable: built-ins, gen: specs, trace:
+        # folders. Unknown names exit with a one-line message.
+        args.workload_list = cli.resolve_workload_names(
+            parser, args.workloads.split(",")
+        )
     return args
 
 

@@ -235,8 +235,10 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
     Parameters
     ----------
     workload:
-        A benchmark name from the registry (``repro.ALL_NAMES``) or a
-        zero-argument workload factory.
+        A benchmark name from the registry (``repro.ALL_NAMES``), a
+        namespaced name (``gen:<spec|fingerprint|folder>`` for a seeded
+        generated workload, ``trace:<folder>`` for a recorded trace),
+        or a zero-argument workload factory.
     config:
         A :class:`~repro.sim.config.SimConfig`, a registered design
         name (``"baseline"``/``"powertm"``/``"clear"``/
@@ -315,7 +317,12 @@ def simulate(workload, config=None, *, seeds=1, trim=PAPER_TRIM, trace=False,
         if energy_model is not None:
             raise ValueError("energy_model is inline-only; omit engine")
         from repro.sim.engine import RunSpec
+        from repro.workloads import canonical_workload_name
 
+        # Worker processes resolve the name from scratch, so ship the
+        # self-contained spelling (gen fingerprints/folders become full
+        # spec strings, trace folders become absolute paths).
+        workload = canonical_workload_name(workload)
         specs = [
             RunSpec(workload=workload, config=config, seed=seed,
                     ops_per_thread=ops_per_thread, trace=bool(trace))

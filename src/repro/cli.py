@@ -220,6 +220,27 @@ def validate_explore_flags(parser, args):
     return args
 
 
+def resolve_workload_names(parser, names):
+    """Canonicalize workload names from any namespace, or exit cleanly.
+
+    Accepts built-in benchmark names, ``gen:<spec|fingerprint|folder>``
+    spellings, and ``trace:<folder>`` paths; returns the list of
+    self-contained canonical names. An unknown or malformed name
+    becomes ``parser.error`` (a one-line message and exit status 2)
+    instead of a traceback.
+    """
+    from repro.common.errors import ConfigurationError
+    from repro.workloads import canonical_workload_name
+
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(canonical_workload_name(name))
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    return resolved
+
+
 def validate_engine_flags(parser, args):
     """Shared post-parse validation for :func:`add_engine_flags`."""
     if args.jobs is not None and args.jobs < 1:

@@ -9,6 +9,23 @@ class ConfigurationError(ReproError):
     """An invalid machine or workload configuration was supplied."""
 
 
+class UnknownWorkloadError(ConfigurationError, KeyError):
+    """No workload matches the requested name in any registry namespace.
+
+    Raised by :func:`repro.workloads.make_workload` (and the name
+    canonicalization helpers) when a name is neither a built-in
+    benchmark, a ``gen:<spec|fingerprint|folder>`` generated workload,
+    nor a ``trace:<folder>`` recorded trace. Subclasses ``KeyError``
+    for backward compatibility with callers that catch the registry's
+    historical exception.
+    """
+
+    def __str__(self):
+        # KeyError.__str__ wins the MRO and would repr-ize the message;
+        # user-facing scripts print this, so keep it a plain sentence.
+        return str(self.args[0]) if self.args else ""
+
+
 class SimulationError(ReproError):
     """The simulation reached an inconsistent state (a bug, not user error)."""
 

@@ -11,7 +11,19 @@ experiment cache, the process-pool result transport, and every script's
 bump has to preserve.
 """
 
+import hashlib
 import json
+
+
+def canonical_digest(obj):
+    """SHA-256 hex digest of ``obj``'s canonical JSON encoding.
+
+    The one digest convention shared by the workload-corpus formats
+    (gen-spec fingerprints, trace manifests) and the determinism test
+    suites: keys sorted, separators minimal, UTF-8 bytes hashed.
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class Serializable:

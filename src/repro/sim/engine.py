@@ -58,7 +58,7 @@ from repro.sim.journal import SweepJournal
 from repro.obs.trace import EventTrace
 from repro.sim.config import SimConfig
 from repro.sim.runner import RunResult, _simulate_one
-from repro.workloads import make_workload
+from repro.workloads import make_workload, workload_cache_token
 
 #: Bump when the cached result format (or anything influencing a run's
 #: output) changes; every key embeds it, so old entries simply miss.
@@ -100,15 +100,23 @@ class RunSpec:
         output, including :data:`SCHEMA_VERSION` so format bumps
         invalidate the whole cache without touching files.
         """
+        key_input = {
+            "schema_version": SCHEMA_VERSION,
+            "workload": self.workload,
+            "ops_per_thread": self.ops_per_thread,
+            "seed": self.seed,
+            "config": self.config.fingerprint(),
+            "trace": self.trace,
+        }
+        # Namespaced workloads (gen:/trace:) contribute their content
+        # token so regenerated specs or rewritten trace folders cannot
+        # alias a cached result; built-in names add nothing, keeping
+        # their keys byte-identical to every earlier release.
+        token = workload_cache_token(self.workload)
+        if token is not None:
+            key_input["workload_token"] = token
         payload = json.dumps(
-            {
-                "schema_version": SCHEMA_VERSION,
-                "workload": self.workload,
-                "ops_per_thread": self.ops_per_thread,
-                "seed": self.seed,
-                "config": self.config.fingerprint(),
-                "trace": self.trace,
-            },
+            key_input,
             sort_keys=True,
             separators=(",", ":"),
         )

@@ -33,6 +33,7 @@ from repro.sim.machine import Machine
 from repro.verify.oracles import (
     COMMUTATIVE_WORKLOADS,
     RetryLedger,
+    is_commutative_workload,
     check_equivalence,
     check_retry_bound,
     violation,
@@ -391,8 +392,11 @@ def verify(workload, config=None, *, cores=None, seed=1, schedules=20,
     named = isinstance(workload, str)
     workload_name = workload if named else None
     if named:
-        from repro.workloads import make_workload
+        from repro.workloads import canonical_workload_name, make_workload
 
+        # Self-contained spelling so engine fan-out workers (and saved
+        # artifacts) can re-resolve gen:/trace: names from scratch.
+        workload = workload_name = canonical_workload_name(workload)
         kwargs = {}
         if ops_per_thread is not None:
             kwargs["ops_per_thread"] = ops_per_thread
@@ -414,7 +418,7 @@ def verify(workload, config=None, *, cores=None, seed=1, schedules=20,
             "{!r}".format(explorer)
         )
     if expect_state_equal is None:
-        expect_state_equal = workload_name in COMMUTATIVE_WORKLOADS
+        expect_state_equal = is_commutative_workload(workload_name)
 
     def run_one(scheduler):
         return run_schedule(

@@ -231,6 +231,19 @@ def check_retry_bound(ledger, config):
 COMMUTATIVE_WORKLOADS = frozenset({"mwobject"})
 
 
+def is_commutative_workload(name):
+    """Whether ``name``'s final memory state is schedule-invariant.
+
+    Beyond the built-in :data:`COMMUTATIVE_WORKLOADS`, every ``gen:``
+    workload qualifies by construction: the generator emits only
+    commutative increments over thread-deterministic address streams
+    (see :class:`repro.workloads.gen.GeneratedWorkload`).
+    """
+    if not isinstance(name, str):
+        return False
+    return name in COMMUTATIVE_WORKLOADS or name.startswith("gen:")
+
+
 def check_equivalence(outcomes, *, expect_state_equal):
     """Differential check across the outcomes of every explored schedule.
 
